@@ -1,0 +1,48 @@
+// Throughput of the strict V1 reader and writer — the per-record fixed
+// cost every pipeline stage inherits.
+
+#include <benchmark/benchmark.h>
+
+#include "formats/v1.hpp"
+#include "synth/synth.hpp"
+
+namespace {
+
+acx::formats::Record bench_record(long npts) {
+  acx::synth::EventSpec spec = acx::synth::paper_events()[0];
+  spec.n_files = 1;
+  spec.total_points = npts;
+  spec.min_pts = npts;
+  spec.max_pts = npts;
+  acx::synth::SynthConfig cfg;
+  return acx::synth::make_record(spec, cfg, 0);
+}
+
+void BM_V1Write(benchmark::State& state) {
+  const acx::formats::Record rec = bench_record(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = acx::formats::write_v1(rec);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+
+void BM_V1Read(benchmark::State& state) {
+  const std::string text = acx::formats::write_v1(bench_record(state.range(0)));
+  for (auto _ : state) {
+    auto rec = acx::formats::read_v1(text);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_V1Write)->Arg(1000)->Arg(7300)->Arg(35000);
+BENCHMARK(BM_V1Read)->Arg(1000)->Arg(7300)->Arg(35000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acx::formats {
+
+// Fixed-column data-block geometry shared by V1 and V2 (see
+// docs/FORMATS.md): 8 cells of exactly 12 characters per full line,
+// written as %12.4e.
+inline constexpr int kValuesPerLine = 8;
+inline constexpr int kColumnWidth = 12;
+
+// Header fields common to V1 (uncorrected) and V2 (corrected) records.
+struct RecordHeader {
+  std::string station;    // e.g. "SS01"
+  std::string component;  // "l" (longitudinal), "t" (transverse), "v"
+  std::string event_id;   // e.g. "EV06"
+  std::string date;       // "yyyy-mm-dd"
+  double dt = 0.0;        // sampling interval, seconds
+  long npts = 0;          // declared sample count
+  std::string units;      // "counts" (V1) or "cm/s2" (V2)
+
+  // "<station><component>", the record id used in file names,
+  // quarantine entries and the run report.
+  std::string id() const { return station + component; }
+};
+
+struct Record {
+  RecordHeader header;
+  std::vector<double> samples;
+};
+
+}  // namespace acx::formats

@@ -1,0 +1,397 @@
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "formats/v1.hpp"
+#include "formats/v2.hpp"
+
+namespace acx::formats {
+
+namespace {
+
+using Code = ParseError::Code;
+
+ParseError err(Code code, std::size_t offset, std::size_t line,
+               std::string detail) {
+  return ParseError{code, offset, line, std::move(detail)};
+}
+
+bool parse_full_double(std::string_view s, double& out) {
+  // Leading spaces are the fixed-column padding; interior junk is not.
+  std::size_t i = 0;
+  while (i < s.size() && s[i] == ' ') ++i;
+  s.remove_prefix(i);
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_full_long(std::string_view s, long& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool is_ident(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+          (c >= '0' && c <= '9') || c == '_' || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_date(std::string_view s) {
+  if (s.size() != 10) return false;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i == 4 || i == 7) {
+      if (s[i] != '-') return false;
+    } else if (s[i] < '0' || s[i] > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Pulls lines out of the buffer, tracking byte offsets and 1-based line
+// numbers for diagnostics.
+struct LineReader {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;      // line number of the last returned line
+  std::size_t line_start = 0;   // byte offset of the last returned line
+
+  bool next(std::string_view& out) {
+    if (pos >= text.size()) return false;
+    line_start = pos;
+    ++line_no;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      out = text.substr(pos);
+      pos = text.size();
+    } else {
+      out = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    return true;
+  }
+};
+
+struct ParsedRecord {
+  Record record;
+  std::vector<std::string> processing;
+};
+
+constexpr long kMaxNpts = 100'000'000;
+
+Result<ParsedRecord, ParseError> read_record(std::string_view content,
+                                             std::string_view magic,
+                                             bool is_v2) {
+  if (content.empty()) return err(Code::kEmptyFile, 0, 0, "file is empty");
+
+  // Byte-level pre-scan: the formats are pure ASCII with LF endings, so
+  // binary corruption and CRLF conversions are caught with an exact
+  // offset before any structural parsing.
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(content[i]);
+    if (c == '\r') {
+      return err(Code::kCrlfLineEnding, i, 0,
+                 "carriage return: file has CRLF (or stray CR) line endings");
+    }
+    if (c != '\n' && c != '\t' && (c < 0x20 || c > 0x7e)) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "0x%02x", c);
+      return err(Code::kNonAsciiByte, i, 0,
+                 std::string("byte ") + buf + " outside printable ASCII");
+    }
+  }
+
+  LineReader lines{content};
+  std::string_view line;
+
+  // Magic + version.
+  if (!lines.next(line)) return err(Code::kEmptyFile, 0, 0, "file is empty");
+  {
+    const std::size_t sp = line.find(' ');
+    const std::string_view file_magic = line.substr(0, sp);
+    if (file_magic != magic) {
+      return err(Code::kBadMagic, lines.line_start, lines.line_no,
+                 "expected '" + std::string(magic) + "', got '" +
+                     std::string(file_magic) + "'");
+    }
+    const std::string_view version =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+    if (version != "1") {
+      return err(Code::kUnsupportedVersion, lines.line_start, lines.line_no,
+                 "unsupported version '" + std::string(version) + "'");
+    }
+  }
+
+  // Header fields until the DATA marker.
+  ParsedRecord out;
+  RecordHeader& h = out.record.header;
+  bool seen[8] = {};  // STATION COMPONENT EVENT DATE DT NPTS UNITS PROCESSED
+  enum Field { kStation, kComponent, kEvent, kDate, kDt, kNpts, kUnits, kProcessed };
+  static constexpr const char* kFieldNames[] = {
+      "STATION", "COMPONENT", "EVENT", "DATE", "DT", "NPTS", "UNITS",
+      "PROCESSED"};
+  bool saw_data_marker = false;
+
+  while (lines.next(line)) {
+    if (line == "DATA") {
+      saw_data_marker = true;
+      break;
+    }
+    const std::size_t sp = line.find(' ');
+    const std::string_view key = line.substr(0, sp);
+    const std::string_view val =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+    const std::size_t off = lines.line_start;
+    const std::size_t ln = lines.line_no;
+
+    int field = -1;
+    for (int f = 0; f < 8; ++f) {
+      if (key == kFieldNames[f]) {
+        field = f;
+        break;
+      }
+    }
+    if (field < 0 || (field == kProcessed && !is_v2)) {
+      return err(Code::kBadHeaderField, off, ln,
+                 "unknown header field '" + std::string(key) + "'");
+    }
+    if (seen[field]) {
+      return err(Code::kDuplicateHeaderField, off, ln,
+                 "duplicate header field '" + std::string(key) + "'");
+    }
+    seen[field] = true;
+
+    switch (field) {
+      case kStation:
+        if (!is_ident(val)) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "STATION must be a non-empty identifier");
+        }
+        h.station = std::string(val);
+        break;
+      case kComponent:
+        if (val != "l" && val != "t" && val != "v") {
+          return err(Code::kBadHeaderField, off, ln,
+                     "COMPONENT must be one of l, t, v; got '" +
+                         std::string(val) + "'");
+        }
+        h.component = std::string(val);
+        break;
+      case kEvent:
+        if (!is_ident(val)) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "EVENT must be a non-empty identifier");
+        }
+        h.event_id = std::string(val);
+        break;
+      case kDate:
+        if (!is_date(val)) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "DATE must be yyyy-mm-dd; got '" + std::string(val) + "'");
+        }
+        h.date = std::string(val);
+        break;
+      case kDt: {
+        double dt = 0;
+        if (!parse_full_double(val, dt) || !std::isfinite(dt) || dt <= 0) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "DT must be a finite positive number; got '" +
+                         std::string(val) + "'");
+        }
+        h.dt = dt;
+        break;
+      }
+      case kNpts: {
+        long n = 0;
+        if (!parse_full_long(val, n) || n <= 0 || n > kMaxNpts) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "NPTS must be in [1, " + std::to_string(kMaxNpts) +
+                         "]; got '" + std::string(val) + "'");
+        }
+        h.npts = n;
+        break;
+      }
+      case kUnits:
+        if (val != "counts" && val != "cm/s2") {
+          return err(Code::kBadUnits, off, ln,
+                     "UNITS must be 'counts' or 'cm/s2'; got '" +
+                         std::string(val) + "'");
+        }
+        if (is_v2 && val != "cm/s2") {
+          return err(Code::kBadUnits, off, ln, "V2 records must be in cm/s2");
+        }
+        h.units = std::string(val);
+        break;
+      case kProcessed: {
+        std::string_view rest = val;
+        while (!rest.empty()) {
+          const std::size_t comma = rest.find(',');
+          const std::string_view stage = rest.substr(0, comma);
+          if (!is_ident(stage)) {
+            return err(Code::kBadHeaderField, off, ln,
+                       "PROCESSED must be a comma-separated stage list");
+          }
+          out.processing.emplace_back(stage);
+          rest = comma == std::string_view::npos ? std::string_view{}
+                                                 : rest.substr(comma + 1);
+        }
+        if (out.processing.empty()) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "PROCESSED must name at least one stage");
+        }
+        break;
+      }
+    }
+  }
+
+  if (!saw_data_marker) {
+    return err(Code::kMissingDataMarker, content.size(), lines.line_no,
+               "no DATA marker before end of file");
+  }
+  const int required = is_v2 ? 8 : 7;
+  for (int f = 0; f < required; ++f) {
+    if (!seen[f]) {
+      return err(Code::kMissingHeaderField, lines.line_start, lines.line_no,
+                 std::string("missing header field ") + kFieldNames[f]);
+    }
+  }
+
+  // Fixed-column data block.
+  out.record.samples.reserve(static_cast<std::size_t>(h.npts));
+  long remaining = h.npts;
+  while (remaining > 0) {
+    if (!lines.next(line)) {
+      return err(Code::kShortDataBlock, content.size(), lines.line_no,
+                 "EOF with " + std::to_string(remaining) +
+                     " of " + std::to_string(h.npts) + " samples missing");
+    }
+    if (line == "END") {
+      return err(Code::kShortDataBlock, lines.line_start, lines.line_no,
+                 "END with " + std::to_string(remaining) +
+                     " of " + std::to_string(h.npts) + " samples missing");
+    }
+    const long cells = std::min<long>(kValuesPerLine, remaining);
+    const std::size_t expected_len =
+        static_cast<std::size_t>(cells) * kColumnWidth;
+    if (line.size() != expected_len) {
+      return err(Code::kBadColumnWidth, lines.line_start, lines.line_no,
+                 "data line is " + std::to_string(line.size()) +
+                     " chars, expected " + std::to_string(expected_len) +
+                     " (" + std::to_string(cells) + " cells of " +
+                     std::to_string(kColumnWidth) + ")");
+    }
+    for (long c = 0; c < cells; ++c) {
+      const std::size_t cell_off =
+          static_cast<std::size_t>(c) * kColumnWidth;
+      const std::string_view cell = line.substr(cell_off, kColumnWidth);
+      double v = 0;
+      if (!parse_full_double(cell, v)) {
+        return err(Code::kMalformedNumber, lines.line_start + cell_off,
+                   lines.line_no,
+                   "cell '" + std::string(cell) + "' is not a number");
+      }
+      if (!std::isfinite(v)) {
+        return err(Code::kNonFiniteSample, lines.line_start + cell_off,
+                   lines.line_no, "sample is " + std::string(cell));
+      }
+      out.record.samples.push_back(v);
+    }
+    remaining -= cells;
+  }
+
+  // END trailer, then nothing but blank lines.
+  if (!lines.next(line)) {
+    return err(Code::kMissingEndMarker, content.size(), lines.line_no,
+               "EOF before END marker");
+  }
+  if (line != "END") {
+    double probe = 0;
+    const bool looks_like_data =
+        line.size() >= kColumnWidth && line.size() % kColumnWidth == 0 &&
+        parse_full_double(line.substr(0, kColumnWidth), probe);
+    if (looks_like_data) {
+      return err(Code::kExcessData, lines.line_start, lines.line_no,
+                 "data past the declared NPTS=" + std::to_string(h.npts));
+    }
+    return err(Code::kMissingEndMarker, lines.line_start, lines.line_no,
+               "expected END, got '" + std::string(line) + "'");
+  }
+  while (lines.next(line)) {
+    if (!line.empty()) {
+      return err(Code::kTrailingGarbage, lines.line_start, lines.line_no,
+                 "content after END marker");
+    }
+  }
+
+  return out;
+}
+
+void write_common(std::string& out, std::string_view magic,
+                  const RecordHeader& h,
+                  const std::vector<std::string>* processing,
+                  const std::vector<double>& samples) {
+  out += magic;
+  out += " 1\n";
+  out += "STATION " + h.station + "\n";
+  out += "COMPONENT " + h.component + "\n";
+  out += "EVENT " + h.event_id + "\n";
+  out += "DATE " + h.date + "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "DT %.6e\n", h.dt);
+  out += buf;
+  out += "NPTS " + std::to_string(h.npts) + "\n";
+  out += "UNITS " + h.units + "\n";
+  if (processing) {
+    out += "PROCESSED ";
+    for (std::size_t i = 0; i < processing->size(); ++i) {
+      if (i) out += ',';
+      out += (*processing)[i];
+    }
+    out += '\n';
+  }
+  out += "DATA\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%*.*e", kColumnWidth, 4, samples[i]);
+    out += buf;
+    if ((i + 1) % kValuesPerLine == 0 || i + 1 == samples.size()) out += '\n';
+  }
+  out += "END\n";
+}
+
+}  // namespace
+
+Result<Record, ParseError> read_v1(std::string_view content) {
+  auto parsed = read_record(content, kV1Magic, /*is_v2=*/false);
+  if (!parsed.ok()) return std::move(parsed).take_error();
+  return std::move(parsed).take().record;
+}
+
+std::string write_v1(const Record& record) {
+  std::string out;
+  write_common(out, kV1Magic, record.header, nullptr, record.samples);
+  return out;
+}
+
+Result<V2Record, ParseError> read_v2(std::string_view content) {
+  auto parsed = read_record(content, kV2Magic, /*is_v2=*/true);
+  if (!parsed.ok()) return std::move(parsed).take_error();
+  ParsedRecord p = std::move(parsed).take();
+  return V2Record{std::move(p.record), std::move(p.processing)};
+}
+
+std::string write_v2(const V2Record& record) {
+  std::string out;
+  write_common(out, kV2Magic, record.record.header, &record.processing,
+               record.record.samples);
+  return out;
+}
+
+}  // namespace acx::formats

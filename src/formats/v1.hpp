@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "formats/parse_error.hpp"
+#include "formats/record.hpp"
+#include "util/result.hpp"
+
+namespace acx::formats {
+
+inline constexpr std::string_view kV1Magic = "ACX-V1";
+inline constexpr std::string_view kV1Extension = ".v1";
+
+// Strict reader: validates magic/version, every header field, units
+// ("counts" or "cm/s2"), the fixed-column data block (exact cell
+// widths, finite values), the declared sample count, and the END
+// trailer. Never throws; never accepts a malformed file.
+Result<Record, ParseError> read_v1(std::string_view content);
+
+// Writes the canonical form read_v1 round-trips.
+std::string write_v1(const Record& record);
+
+}  // namespace acx::formats

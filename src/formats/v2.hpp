@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/parse_error.hpp"
+#include "formats/record.hpp"
+#include "util/result.hpp"
+
+namespace acx::formats {
+
+inline constexpr std::string_view kV2Magic = "ACX-V2";
+inline constexpr std::string_view kV2Extension = ".v2";
+
+// Corrected record: V1 payload plus the ordered list of processing
+// stages that produced it. Units must be "cm/s2".
+struct V2Record {
+  Record record;
+  std::vector<std::string> processing;  // e.g. {"demean", "detrend"}
+};
+
+Result<V2Record, ParseError> read_v2(std::string_view content);
+
+std::string write_v2(const V2Record& record);
+
+}  // namespace acx::formats

@@ -1,0 +1,135 @@
+#include "pipeline/report.hpp"
+
+namespace acx::pipeline {
+
+int RunReport::count_ok() const {
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.status == RecordOutcome::Status::kOk) ++n;
+  }
+  return n;
+}
+
+int RunReport::count_quarantined() const {
+  return static_cast<int>(records.size()) - count_ok();
+}
+
+int RunReport::count_retries() const {
+  int n = 0;
+  for (const auto& r : records) n += r.retries;
+  return n;
+}
+
+Json RunReport::to_json() const {
+  Json root = Json::object();
+  root.set("version", kVersion);
+  root.set("input_dir", input_dir);
+  root.set("work_dir", work_dir);
+
+  Json counts = Json::object();
+  counts.set("input", static_cast<int>(records.size()));
+  counts.set("ok", count_ok());
+  counts.set("quarantined", count_quarantined());
+  counts.set("retries", count_retries());
+  root.set("counts", std::move(counts));
+
+  Json recs = Json::array();
+  for (const auto& r : records) {
+    Json jr = Json::object();
+    jr.set("record", r.record);
+    jr.set("input", r.input);
+    jr.set("status",
+           r.status == RecordOutcome::Status::kOk ? "ok" : "quarantined");
+    if (r.status == RecordOutcome::Status::kOk) {
+      jr.set("output", r.output);
+    } else {
+      jr.set("reason", r.reason);
+      jr.set("quarantine", r.quarantine);
+    }
+    jr.set("retries", r.retries);
+    Json stages = Json::array();
+    for (const auto& s : r.stages) {
+      Json js = Json::object();
+      js.set("stage", s.stage);
+      js.set("attempts", s.attempts);
+      js.set("ok", s.ok);
+      if (!s.error.empty()) js.set("error", s.error);
+      stages.push(std::move(js));
+    }
+    jr.set("stages", std::move(stages));
+    recs.push(std::move(jr));
+  }
+  root.set("records", std::move(recs));
+  return root;
+}
+
+Result<RunReport, std::string> RunReport::from_json_text(
+    const std::string& text) {
+  auto parsed = Json::parse(text);
+  if (!parsed.ok()) {
+    const auto& e = parsed.error();
+    return "run_report.json is not valid JSON at byte " +
+           std::to_string(e.offset) + ": " + e.detail;
+  }
+  const Json root = std::move(parsed).take();
+  if (!root.is_object()) return std::string("run report root is not an object");
+  if (root.get_number("version", -1) != kVersion) {
+    return std::string("unsupported run report version");
+  }
+
+  RunReport report;
+  report.input_dir = root.get_string("input_dir");
+  report.work_dir = root.get_string("work_dir");
+
+  const Json* recs = root.find("records");
+  if (!recs || !recs->is_array()) {
+    return std::string("run report has no records array");
+  }
+  for (const Json& jr : recs->items()) {
+    if (!jr.is_object()) return std::string("record entry is not an object");
+    RecordOutcome r;
+    r.record = jr.get_string("record");
+    r.input = jr.get_string("input");
+    const std::string status = jr.get_string("status");
+    if (status == "ok") {
+      r.status = RecordOutcome::Status::kOk;
+    } else if (status == "quarantined") {
+      r.status = RecordOutcome::Status::kQuarantined;
+    } else {
+      return "record '" + r.record + "' has bad status '" + status + "'";
+    }
+    r.output = jr.get_string("output");
+    r.reason = jr.get_string("reason");
+    r.quarantine = jr.get_string("quarantine");
+    r.retries = static_cast<int>(jr.get_number("retries", 0));
+    if (const Json* stages = jr.find("stages"); stages && stages->is_array()) {
+      for (const Json& js : stages->items()) {
+        StageAttempt s;
+        s.stage = js.get_string("stage");
+        s.attempts = static_cast<int>(js.get_number("attempts", 1));
+        const Json* ok = js.find("ok");
+        s.ok = ok && ok->is_bool() && ok->boolean();
+        s.error = js.get_string("error");
+        r.stages.push_back(std::move(s));
+      }
+    }
+    if (r.record.empty()) return std::string("record entry missing id");
+    report.records.push_back(std::move(r));
+  }
+
+  // Cross-check the counts block against the records array.
+  if (const Json* counts = root.find("counts")) {
+    if (static_cast<int>(counts->get_number("input", -1)) !=
+            static_cast<int>(report.records.size()) ||
+        static_cast<int>(counts->get_number("ok", -1)) != report.count_ok() ||
+        static_cast<int>(counts->get_number("quarantined", -1)) !=
+            report.count_quarantined()) {
+      return std::string("run report counts disagree with records array");
+    }
+  } else {
+    return std::string("run report has no counts block");
+  }
+  return report;
+}
+
+}  // namespace acx::pipeline

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace acx::pipeline {
+
+// One attempt-group per stage executed for a record.
+struct StageAttempt {
+  std::string stage;
+  int attempts = 1;  // total invocations (1 = no retry)
+  bool ok = false;
+  std::string error;  // reason slug of the final failure, empty when ok
+};
+
+struct RecordOutcome {
+  enum class Status { kOk, kQuarantined };
+
+  std::string record;      // record id, e.g. "SS01l"
+  std::string input;       // input file path
+  Status status = Status::kOk;
+  std::string output;      // V2 path (ok records)
+  std::string reason;      // quarantine reason slug (quarantined records)
+  std::string quarantine;  // quarantine file path
+  std::vector<StageAttempt> stages;
+  int retries = 0;  // extra attempts beyond the first, summed over stages
+};
+
+// The machine-readable outcome of one event run, written atomically to
+// <work_dir>/run_report.json. Schema documented in README "Robustness
+// model".
+struct RunReport {
+  static constexpr int kVersion = 1;
+
+  std::string input_dir;
+  std::string work_dir;
+  std::vector<RecordOutcome> records;
+
+  int count_ok() const;
+  int count_quarantined() const;
+  int count_retries() const;
+
+  Json to_json() const;
+  std::string dump() const { return to_json().dump(2); }
+
+  // Strict re-read (used by acx_validate and the tests).
+  static Result<RunReport, std::string> from_json_text(const std::string& text);
+};
+
+inline constexpr const char* kRunReportFileName = "run_report.json";
+
+}  // namespace acx::pipeline

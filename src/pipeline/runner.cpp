@@ -1,0 +1,181 @@
+#include "pipeline/runner.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "formats/v1.hpp"
+
+namespace acx::pipeline {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+StageError from_io(const IoError& e) {
+  return StageError{e.klass, std::string("io.") + slug(e.code), e.to_string()};
+}
+
+}  // namespace
+
+StageRunner::StageRunner(FileSystem& fs, RunnerConfig config)
+    : fs_(fs), cfg_(std::move(config)) {
+  if (!cfg_.sleep) {
+    cfg_.sleep = [](int ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+}
+
+Result<Unit, StageError> StageRunner::run_stage_once(Stage& stage,
+                                                     RecordContext& ctx) {
+  const int invocation = ++invocations_[stage.name()];
+  const StageFault& f = cfg_.stage_fault;
+  if (!f.stage.empty() && f.stage == stage.name() &&
+      invocation == f.kill_on_invocation) {
+    return StageError{
+        f.transient ? ErrorClass::kTransient : ErrorClass::kPoison,
+        std::string("stage_crash.") + stage.name(),
+        "injected stage fault on invocation " + std::to_string(invocation)};
+  }
+  return stage.run(ctx);
+}
+
+bool StageRunner::run_step(
+    const std::string& name, RecordOutcome& outcome, StageError& failure,
+    const std::function<Result<Unit, StageError>()>& fn) {
+  int attempts = 0;
+  auto r = run_with_retry<Unit, StageError>(
+      cfg_.retry, cfg_.sleep,
+      [](const StageError& e) { return e.klass; }, fn, &attempts);
+  StageAttempt attempt;
+  attempt.stage = name;
+  attempt.attempts = attempts;
+  attempt.ok = r.ok();
+  if (!r.ok()) {
+    failure = r.error();
+    attempt.error = failure.reason;
+  }
+  outcome.retries += attempts - 1;
+  outcome.stages.push_back(std::move(attempt));
+  return r.ok();
+}
+
+void StageRunner::quarantine_record(const stdfs::path& quarantine_dir,
+                                    const RecordContext& ctx,
+                                    const StageError& failure,
+                                    RecordOutcome& outcome) {
+  outcome.status = RecordOutcome::Status::kQuarantined;
+  outcome.reason = failure.klass == ErrorClass::kPoison
+                       ? failure.reason
+                       : "transient_exhausted." + failure.reason;
+
+  // Preserve the original bytes for post-mortem. If the input itself is
+  // unreadable, quarantine a marker describing why.
+  std::string content = ctx.raw;
+  if (content.empty()) {
+    auto rd = fs_.read_file(ctx.input_path);
+    content = rd.ok() ? std::move(rd).take()
+                      : "<input unreadable: " + rd.error().to_string() + ">\n";
+  }
+  const stdfs::path dest =
+      quarantine_dir / (outcome.record + "." + outcome.reason);
+  auto wrote = run_with_retry<Unit, IoError>(
+      cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },
+      [&] { return atomic_write_file(fs_, dest, content); });
+  if (wrote.ok()) outcome.quarantine = dest.string();
+}
+
+RecordOutcome StageRunner::process_record(
+    const stdfs::path& input, const stdfs::path& work_dir,
+    std::vector<std::unique_ptr<Stage>>& stages) {
+  RecordOutcome outcome;
+  outcome.record = input.stem().string();
+  outcome.input = input.string();
+
+  RecordContext ctx;
+  ctx.fs = &fs_;
+  ctx.input_path = input;
+  ctx.scratch_dir = work_dir / "scratch" / outcome.record;
+  ctx.out_dir = work_dir / "out";
+  ctx.record_id = outcome.record;
+
+  StageError failure;
+  bool ok = run_step("scratch_setup", outcome, failure, [&] {
+    (void)fs_.remove_all(ctx.scratch_dir);
+    auto made = fs_.create_directories(ctx.scratch_dir);
+    if (!made.ok()) {
+      return Result<Unit, StageError>(from_io(made.error()));
+    }
+    return Result<Unit, StageError>(Unit{});
+  });
+
+  if (ok) {
+    for (auto& stage : stages) {
+      if (!run_step(stage->name(), outcome, failure,
+                    [&] { return run_stage_once(*stage, ctx); })) {
+        ok = false;
+        break;
+      }
+    }
+  }
+
+  if (ok) {
+    outcome.status = RecordOutcome::Status::kOk;
+    outcome.output = ctx.output_path.string();
+  } else {
+    quarantine_record(work_dir / "quarantine", ctx, failure, outcome);
+  }
+
+  // Scratch is per-record; drop it either way (best effort — leftovers
+  // are caught by the validator, not silently tolerated).
+  (void)fs_.remove_all(ctx.scratch_dir);
+  return outcome;
+}
+
+Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
+                                                  const stdfs::path& work_dir) {
+  RunReport report;
+  report.input_dir = input_dir.string();
+  report.work_dir = work_dir.string();
+
+  for (const char* sub : {"out", "quarantine", "scratch"}) {
+    auto made = run_with_retry<Unit, IoError>(
+        cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },
+        [&] { return fs_.create_directories(work_dir / sub); });
+    if (!made.ok()) return std::move(made).take_error();
+  }
+
+  auto listed = fs_.list_dir(input_dir);
+  if (!listed.ok()) return std::move(listed).take_error();
+
+  auto stages = default_stages();
+  for (const stdfs::path& path : listed.value()) {
+    if (path.extension() != formats::kV1Extension) continue;
+    report.records.push_back(process_record(path, work_dir, stages));
+    if (!cfg_.keep_going &&
+        report.records.back().status == RecordOutcome::Status::kQuarantined) {
+      break;
+    }
+  }
+
+  (void)fs_.remove_all(work_dir / "scratch");
+
+  auto wrote = run_with_retry<Unit, IoError>(
+      cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },
+      [&] {
+        return atomic_write_file(fs_, work_dir / kRunReportFileName,
+                                 report.dump());
+      });
+  if (!wrote.ok()) return std::move(wrote).take_error();
+  return report;
+}
+
+Result<RunReport, IoError> run_pipeline(FileSystem& fs,
+                                        const stdfs::path& input_dir,
+                                        const stdfs::path& work_dir,
+                                        const RunnerConfig& config) {
+  StageRunner runner(fs, config);
+  return runner.run_event(input_dir, work_dir);
+}
+
+}  // namespace acx::pipeline

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "formats/record.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/result.hpp"
+
+namespace acx::pipeline {
+
+// Stage failure: classified (transient errors are retried, poison
+// quarantines the record), with a filesystem-safe reason slug that
+// becomes the quarantine suffix and the report entry.
+struct StageError {
+  ErrorClass klass = ErrorClass::kPoison;
+  std::string reason;  // e.g. "parse.bad_magic", "io.write_failed"
+  std::string detail;
+};
+
+// Per-record working state threaded through the stages. Each record is
+// processed inside its own scratch directory (the paper's temp-folder
+// protocol), so a failing record can never corrupt a neighbour's state.
+struct RecordContext {
+  FileSystem* fs = nullptr;
+  std::filesystem::path input_path;
+  std::filesystem::path scratch_dir;
+  std::filesystem::path out_dir;
+  std::string record_id;  // "<station><component>", e.g. "SS01l"
+
+  std::string raw;                       // staged-in bytes
+  formats::Record record;                // parsed V1, then corrected
+  std::vector<std::string> processing;   // stages applied so far
+  std::filesystem::path output_path;     // set by the write stage
+};
+
+// A pipeline process (the reproduction's P#k). Stages must be
+// idempotent: a retried stage re-runs from the same context state.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual const char* name() const = 0;
+  virtual Result<Unit, StageError> run(RecordContext& ctx) = 0;
+};
+
+// The PR-1 minimal chain: stage_in -> parse -> demean -> detrend ->
+// write_v2. Later PRs extend this toward the paper's full P#0–P#19.
+std::vector<std::unique_ptr<Stage>> default_stages();
+
+}  // namespace acx::pipeline

@@ -1,0 +1,141 @@
+#include <cmath>
+#include <numeric>
+
+#include "formats/v1.hpp"
+#include "formats/v2.hpp"
+#include "pipeline/stage.hpp"
+
+namespace acx::pipeline {
+
+namespace {
+
+StageError from_io(const IoError& e) {
+  return StageError{e.klass, std::string("io.") + slug(e.code), e.to_string()};
+}
+
+// Stage-in: copy the input V1 into the record's private scratch dir and
+// keep the bytes in memory. All downstream stages work on the staged
+// copy, never on the shared input tree.
+class StageIn final : public Stage {
+ public:
+  const char* name() const override { return "stage_in"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto content = ctx.fs->read_file(ctx.input_path);
+    if (!content.ok()) return from_io(content.error());
+    ctx.raw = std::move(content).take();
+    auto staged = atomic_write_file(
+        *ctx.fs, ctx.scratch_dir / ctx.input_path.filename(), ctx.raw);
+    if (!staged.ok()) return from_io(staged.error());
+    return Unit{};
+  }
+};
+
+// Parse: strict V1 validation. Any ParseError is poison by definition.
+class ParseStage final : public Stage {
+ public:
+  const char* name() const override { return "parse"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto rec = formats::read_v1(ctx.raw);
+    if (!rec.ok()) {
+      const formats::ParseError& e = rec.error();
+      return StageError{ErrorClass::kPoison,
+                        std::string("parse.") + formats::slug(e.code),
+                        e.to_string()};
+    }
+    ctx.record = std::move(rec).take();
+    return Unit{};
+  }
+};
+
+// Demean: remove the DC offset (the paper's baseline step one).
+class DemeanStage final : public Stage {
+ public:
+  const char* name() const override { return "demean"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto& s = ctx.record.samples;
+    if (s.empty()) {
+      return StageError{ErrorClass::kPoison, "demean.empty_record",
+                        "no samples after parse"};
+    }
+    const double mean =
+        std::accumulate(s.begin(), s.end(), 0.0) / static_cast<double>(s.size());
+    for (double& v : s) v -= mean;
+    ctx.processing.push_back("demean");
+    return Unit{};
+  }
+};
+
+// Detrend: least-squares linear detrend (instrument drift removal).
+class DetrendStage final : public Stage {
+ public:
+  const char* name() const override { return "detrend"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto& s = ctx.record.samples;
+    const std::size_t n = s.size();
+    if (n < 2) {
+      return StageError{ErrorClass::kPoison, "detrend.too_short",
+                        "need at least 2 samples"};
+    }
+    // x = 0..n-1; slope = cov(x, y) / var(x), both around their means.
+    const double xm = static_cast<double>(n - 1) / 2.0;
+    double sxy = 0.0, sxx = 0.0, ym = 0.0;
+    for (std::size_t i = 0; i < n; ++i) ym += s[i];
+    ym /= static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = static_cast<double>(i) - xm;
+      sxy += dx * (s[i] - ym);
+      sxx += dx * dx;
+    }
+    const double slope = sxx > 0 ? sxy / sxx : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] -= ym + slope * (static_cast<double>(i) - xm);
+    }
+    ctx.processing.push_back("detrend");
+    return Unit{};
+  }
+};
+
+// Write: counts -> cm/s2, emit the V2 into scratch, then stage it out
+// into out/ — both through the atomic-write helper, so a crash or an
+// injected fault can never leave a partial output visible.
+class WriteV2Stage final : public Stage {
+ public:
+  const char* name() const override { return "write_v2"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    formats::V2Record v2;
+    v2.record = ctx.record;
+    v2.processing = ctx.processing;
+    v2.processing.push_back("write_v2");
+    if (v2.record.header.units == "counts") {
+      // Nominal instrument gain; replaced by per-station calibration
+      // when the real P#1 lands.
+      constexpr double kCountsToCms2 = 1.0 / 1000.0;
+      for (double& s : v2.record.samples) s *= kCountsToCms2;
+    }
+    v2.record.header.units = "cm/s2";
+
+    const std::string name =
+        ctx.record_id + std::string(formats::kV2Extension);
+    const std::string content = formats::write_v2(v2);
+    auto scratch = atomic_write_file(*ctx.fs, ctx.scratch_dir / name, content);
+    if (!scratch.ok()) return from_io(scratch.error());
+    auto out = atomic_write_file(*ctx.fs, ctx.out_dir / name, content);
+    if (!out.ok()) return from_io(out.error());
+    ctx.output_path = ctx.out_dir / name;
+    return Unit{};
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Stage>> default_stages() {
+  std::vector<std::unique_ptr<Stage>> stages;
+  stages.push_back(std::make_unique<StageIn>());
+  stages.push_back(std::make_unique<ParseStage>());
+  stages.push_back(std::make_unique<DemeanStage>());
+  stages.push_back(std::make_unique<DetrendStage>());
+  stages.push_back(std::make_unique<WriteV2Stage>());
+  return stages;
+}
+
+}  // namespace acx::pipeline

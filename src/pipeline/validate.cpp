@@ -1,0 +1,132 @@
+#include "pipeline/validate.hpp"
+
+#include <set>
+
+#include "formats/v2.hpp"
+#include "pipeline/report.hpp"
+
+namespace acx::pipeline {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+void add_issue(ValidationSummary& summary, std::string kind,
+               std::string detail) {
+  summary.issues.push_back({std::move(kind), std::move(detail)});
+}
+
+}  // namespace
+
+ValidationSummary validate_workdir(FileSystem& fs,
+                                   const stdfs::path& work_dir) {
+  ValidationSummary summary;
+
+  if (!fs.exists(work_dir)) {
+    add_issue(summary, "missing_workdir", work_dir.string());
+    return summary;
+  }
+
+  // Atomic-write audit over the whole tree, plus inventory of out/,
+  // quarantine/ and scratch/ contents by base name.
+  std::set<std::string> out_files, quarantine_files;
+  auto tree = fs.list_tree(work_dir);
+  if (!tree.ok()) {
+    add_issue(summary, "unreadable_workdir", tree.error().to_string());
+    return summary;
+  }
+  const stdfs::path out_dir = work_dir / "out";
+  const stdfs::path quarantine_dir = work_dir / "quarantine";
+  const stdfs::path scratch_dir = work_dir / "scratch";
+  for (const stdfs::path& p : tree.value()) {
+    if (is_atomic_tmp_name(p)) {
+      add_issue(summary, "partial_write",
+                "leftover atomic-write temporary: " + p.string());
+      continue;
+    }
+    if (p.parent_path() == out_dir) out_files.insert(p.filename().string());
+    if (p.parent_path() == quarantine_dir) {
+      quarantine_files.insert(p.filename().string());
+    }
+    if (p.string().rfind(scratch_dir.string() + "/", 0) == 0) {
+      add_issue(summary, "scratch_leftover", p.string());
+    }
+  }
+
+  auto report_text = fs.read_file(work_dir / kRunReportFileName);
+  if (!report_text.ok()) {
+    add_issue(summary, "missing_report", report_text.error().to_string());
+    return summary;
+  }
+  auto parsed = RunReport::from_json_text(report_text.value());
+  if (!parsed.ok()) {
+    add_issue(summary, "bad_report", parsed.error());
+    return summary;
+  }
+  const RunReport report = std::move(parsed).take();
+
+  std::set<std::string> claimed_out, claimed_quarantine;
+  for (const RecordOutcome& r : report.records) {
+    if (r.status == RecordOutcome::Status::kOk) {
+      ++summary.records_ok;
+      if (r.output.empty()) {
+        add_issue(summary, "missing_output",
+                  "record " + r.record + " is ok but names no output");
+        continue;
+      }
+      const stdfs::path out_path(r.output);
+      claimed_out.insert(out_path.filename().string());
+      auto content = fs.read_file(out_path);
+      if (!content.ok()) {
+        add_issue(summary, "missing_output",
+                  "record " + r.record + ": " + content.error().to_string());
+        continue;
+      }
+      auto v2 = formats::read_v2(content.value());
+      if (!v2.ok()) {
+        add_issue(summary, "corrupt_output",
+                  "record " + r.record + ": " + v2.error().to_string());
+        continue;
+      }
+      if (v2.value().record.header.id() != r.record) {
+        add_issue(summary, "mismatched_output",
+                  "record " + r.record + ": output header says '" +
+                      v2.value().record.header.id() + "'");
+      }
+    } else {
+      ++summary.records_quarantined;
+      if (r.reason.empty()) {
+        add_issue(summary, "missing_reason",
+                  "record " + r.record + " quarantined without a reason");
+      }
+      if (r.quarantine.empty()) {
+        add_issue(summary, "missing_quarantine",
+                  "record " + r.record + " quarantined but no file written");
+        continue;
+      }
+      const stdfs::path q_path(r.quarantine);
+      claimed_quarantine.insert(q_path.filename().string());
+      if (!fs.exists(q_path)) {
+        add_issue(summary, "missing_quarantine",
+                  "record " + r.record + ": " + r.quarantine + " not found");
+      }
+    }
+  }
+
+  for (const std::string& name : out_files) {
+    if (!claimed_out.count(name)) {
+      add_issue(summary, "unexpected_file",
+                "out/" + name + " not claimed by the run report");
+    }
+  }
+  for (const std::string& name : quarantine_files) {
+    if (!claimed_quarantine.count(name)) {
+      add_issue(summary, "unexpected_file",
+                "quarantine/" + name + " not claimed by the run report");
+    }
+  }
+
+  return summary;
+}
+
+}  // namespace acx::pipeline

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/fs.hpp"
+
+namespace acx::pipeline {
+
+struct ValidationIssue {
+  std::string kind;    // "partial_write", "missing_output", ...
+  std::string detail;
+};
+
+struct ValidationSummary {
+  int records_ok = 0;
+  int records_quarantined = 0;
+  std::vector<ValidationIssue> issues;
+
+  bool clean() const { return issues.empty(); }
+};
+
+// Audits a pipeline work dir against its run_report.json:
+//  - no atomic-write temporaries anywhere under the tree (proves no
+//    partially-written file survived any fault);
+//  - every "ok" record has a V2 output that passes the strict reader;
+//  - every quarantined record has its quarantine file and a reason;
+//  - out/ and quarantine/ contain nothing the report doesn't claim;
+//  - scratch/ is gone (or empty);
+//  - the report's counts block matches its records array.
+ValidationSummary validate_workdir(FileSystem& fs,
+                                   const std::filesystem::path& work_dir);
+
+}  // namespace acx::pipeline

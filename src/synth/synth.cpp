@@ -1,0 +1,126 @@
+#include "synth/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "formats/v1.hpp"
+#include "util/rng.hpp"
+
+namespace acx::synth {
+
+std::vector<EventSpec> paper_events() {
+  return {
+      {"EV01", "2017-04-19", 5, 56000, 7300, 35000, 0.005},
+      {"EV02", "2017-05-10", 5, 115000, 7300, 35000, 0.005},
+      {"EV03", "2018-01-24", 9, 145000, 7300, 35000, 0.005},
+      {"EV04", "2018-08-26", 15, 309000, 7300, 35000, 0.005},
+      {"EV05", "2019-05-30", 18, 361000, 7300, 35000, 0.005},
+      {"EV06", "2019-07-07", 19, 384000, 7300, 35000, 0.005},
+  };
+}
+
+std::vector<long> points_per_file(const EventSpec& spec,
+                                  const SynthConfig& cfg) {
+  const double s = cfg.scale;
+  const long lo = std::max<long>(64, std::lround(spec.min_pts * s));
+  const long hi = std::max(lo, std::lround(spec.max_pts * s));
+  const long total = std::max<long>(spec.n_files,
+                                    std::lround(spec.total_points * s));
+  std::vector<long> pts(static_cast<std::size_t>(spec.n_files));
+
+  // Deterministic spread around the even split so files differ in size
+  // (the heterogeneity the fault-tolerance layer has to cope with).
+  Xoshiro256 rng(cfg.seed ^ 0x5eed5eedULL);
+  const long base = total / spec.n_files;
+  long assigned = 0;
+  for (int i = 0; i < spec.n_files; ++i) {
+    const double jitter = 0.6 + 0.8 * rng.next_double();  // 0.6x .. 1.4x
+    long p = std::clamp(std::lround(base * jitter), lo, hi);
+    pts[static_cast<std::size_t>(i)] = p;
+    assigned += p;
+  }
+  // Nudge toward the exact total without leaving [lo, hi].
+  long delta = total - assigned;
+  for (int i = 0; delta != 0 && i < spec.n_files; ++i) {
+    long& p = pts[static_cast<std::size_t>(i)];
+    const long step = std::clamp(delta, lo - p, hi - p);
+    p += step;
+    delta -= step;
+  }
+  return pts;
+}
+
+namespace {
+
+std::string station_name(int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "SS%02d", index / 3 + 1);
+  return buf;
+}
+
+const char* component_name(int index) {
+  static constexpr const char* kComps[] = {"l", "t", "v"};
+  return kComps[index % 3];
+}
+
+}  // namespace
+
+formats::Record make_record(const EventSpec& spec, const SynthConfig& cfg,
+                            int index) {
+  std::vector<long> pts = points_per_file(spec, cfg);
+  const long n = pts[static_cast<std::size_t>(index)];
+
+  formats::Record rec;
+  rec.header.station = station_name(index);
+  rec.header.component = component_name(index);
+  rec.header.event_id = spec.id;
+  rec.header.date = spec.date;
+  rec.header.dt = spec.dt;
+  rec.header.npts = n;
+  rec.header.units = "counts";
+
+  // Independent stream per (event seed, file index).
+  std::uint64_t sm = cfg.seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(index + 1);
+  Xoshiro256 rng(splitmix64(sm));
+
+  // Saragoni–Hart-style envelope: t^2 rise, exponential decay, peaking
+  // at t_peak; raw counts with gain, DC offset and slow drift.
+  const double duration = static_cast<double>(n) * spec.dt;
+  const double t_peak = 0.15 * duration;
+  const double decay = 3.0 / duration;
+  const double gain = 850.0 + 300.0 * rng.next_double();
+  const double offset = 40.0 * (rng.next_double() - 0.5);
+  const double drift = 2.0 * (rng.next_double() - 0.5) / duration;
+
+  rec.samples.resize(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * spec.dt;
+    const double rise = t / t_peak;
+    const double envelope = rise * rise * std::exp(-decay * (t - t_peak));
+    const double a = envelope * rng.next_gaussian();
+    rec.samples[static_cast<std::size_t>(i)] = gain * a + offset + drift * t;
+  }
+  return rec;
+}
+
+Result<std::vector<std::string>, IoError> build_event_dataset(
+    FileSystem& fs, const std::filesystem::path& out_dir,
+    const EventSpec& spec, const SynthConfig& cfg) {
+  auto made = fs.create_directories(out_dir);
+  if (!made.ok()) return std::move(made).take_error();
+
+  std::vector<std::string> names;
+  for (int i = 0; i < spec.n_files; ++i) {
+    const formats::Record rec = make_record(spec, cfg, i);
+    const std::string name =
+        rec.header.id() + std::string(formats::kV1Extension);
+    auto wrote =
+        atomic_write_file(fs, out_dir / name, formats::write_v1(rec));
+    if (!wrote.ok()) return std::move(wrote).take_error();
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace acx::synth

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "formats/record.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/result.hpp"
+
+namespace acx::synth {
+
+// One synthetic seismic event: n_files V1 records whose per-file sample
+// counts sum to ~total_points within [min_pts, max_pts], matching the
+// paper's published workload shape (DESIGN.md §2).
+struct EventSpec {
+  std::string id;
+  std::string date;
+  int n_files = 0;
+  long total_points = 0;
+  long min_pts = 0;
+  long max_pts = 0;
+  double dt = 0.005;  // 200 Hz, the dominant sampling rate in the paper
+};
+
+// The six events of the paper's evaluation: 5/5/9/15/18/19 files,
+// 56K/115K/145K/309K/361K/384K total data points, 7.3K–35K per file.
+std::vector<EventSpec> paper_events();
+
+struct SynthConfig {
+  std::uint64_t seed = 42;
+  // Scales per-file data points (not file counts); 1.0 = paper sizes.
+  double scale = 1.0;
+};
+
+// Deterministic per-file sample counts for an event (sum ≈ scaled total,
+// each in [min_pts, max_pts] scaled).
+std::vector<long> points_per_file(const EventSpec& spec, const SynthConfig& cfg);
+
+// Generates record i of the event: enveloped band-limited noise in raw
+// "counts" with a DC offset and linear drift (what the demean/detrend
+// stages remove). Same (spec, cfg, index) -> identical record.
+formats::Record make_record(const EventSpec& spec, const SynthConfig& cfg,
+                            int index);
+
+// Writes the whole event as <station><comp>.v1 files under out_dir
+// through the given FileSystem (atomic writes). Returns the file names
+// written.
+Result<std::vector<std::string>, IoError> build_event_dataset(
+    FileSystem& fs, const std::filesystem::path& out_dir,
+    const EventSpec& spec, const SynthConfig& cfg);
+
+}  // namespace acx::synth

@@ -1,0 +1,112 @@
+#include "util/faultfs.hpp"
+
+#include <algorithm>
+
+namespace acx::faultfs {
+
+namespace stdfs = std::filesystem;
+
+FaultyFileSystem::FaultyFileSystem(FileSystem& inner, FaultConfig config)
+    : inner_(inner), cfg_(std::move(config)), rng_(cfg_.seed) {}
+
+bool FaultyFileSystem::matches(const stdfs::path& path) const {
+  if (cfg_.path_filter.empty()) return true;
+  return path.string().find(cfg_.path_filter) != std::string::npos;
+}
+
+bool FaultyFileSystem::should_fail(const stdfs::path& path, double p,
+                                   int& first_n) {
+  if (!matches(path)) return false;
+  if (first_n > 0) {
+    --first_n;
+    return true;
+  }
+  return p > 0.0 && rng_.next_double() < p;
+}
+
+Result<std::string, IoError> FaultyFileSystem::read_file(
+    const stdfs::path& path) {
+  if (should_fail(path, cfg_.read_fail_p, cfg_.read_fail_first_n)) {
+    ++stats_.injected_read_faults;
+    return IoError{IoError::Code::kInjectedReadFault, ErrorClass::kTransient,
+                   path.string(), "faultfs: injected read failure"};
+  }
+  return inner_.read_file(path);
+}
+
+Result<Unit, IoError> FaultyFileSystem::write_file(const stdfs::path& path,
+                                                   std::string_view content) {
+  if (should_fail(path, cfg_.write_fail_p, cfg_.write_fail_first_n)) {
+    ++stats_.injected_write_faults;
+    if (cfg_.torn_writes) {
+      // Simulate a crash mid-write: half the bytes land on disk.
+      (void)inner_.write_file(path, content.substr(0, content.size() / 2));
+    }
+    return IoError{IoError::Code::kInjectedWriteFault, ErrorClass::kTransient,
+                   path.string(), "faultfs: injected write failure"};
+  }
+  return inner_.write_file(path, content);
+}
+
+Result<Unit, IoError> FaultyFileSystem::rename(const stdfs::path& from,
+                                               const stdfs::path& to) {
+  if (should_fail(to, cfg_.rename_fail_p, cfg_.rename_fail_first_n)) {
+    ++stats_.injected_rename_faults;
+    return IoError{IoError::Code::kInjectedRenameFault, ErrorClass::kTransient,
+                   to.string(), "faultfs: injected rename failure"};
+  }
+  return inner_.rename(from, to);
+}
+
+Result<Unit, IoError> FaultyFileSystem::create_directories(
+    const stdfs::path& path) {
+  return inner_.create_directories(path);
+}
+
+Result<std::vector<stdfs::path>, IoError> FaultyFileSystem::list_dir(
+    const stdfs::path& dir) {
+  return inner_.list_dir(dir);
+}
+
+Result<std::vector<stdfs::path>, IoError> FaultyFileSystem::list_tree(
+    const stdfs::path& dir) {
+  return inner_.list_tree(dir);
+}
+
+Result<Unit, IoError> FaultyFileSystem::remove_all(const stdfs::path& path) {
+  return inner_.remove_all(path);
+}
+
+bool FaultyFileSystem::exists(const stdfs::path& path) {
+  return inner_.exists(path);
+}
+
+Result<Unit, IoError> flip_bytes(FileSystem& fs, const stdfs::path& path,
+                                 int n_flips, std::uint64_t seed) {
+  auto content = fs.read_file(path);
+  if (!content.ok()) return std::move(content).take_error();
+  std::string data = std::move(content).take();
+  if (data.empty()) return Unit{};
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < n_flips; ++i) {
+    const std::size_t offset =
+        static_cast<std::size_t>(rng.next_in(0, data.size() - 1));
+    const int bit = static_cast<int>(rng.next_in(0, 7));
+    data[offset] = static_cast<char>(data[offset] ^ (1 << bit));
+  }
+  return atomic_write_file(fs, path, data);
+}
+
+Result<Unit, IoError> truncate_file(FileSystem& fs, const stdfs::path& path,
+                                    double keep_fraction) {
+  auto content = fs.read_file(path);
+  if (!content.ok()) return std::move(content).take_error();
+  std::string data = std::move(content).take();
+  keep_fraction = std::clamp(keep_fraction, 0.0, 1.0);
+  const auto keep =
+      static_cast<std::size_t>(static_cast<double>(data.size()) * keep_fraction);
+  data.resize(keep);
+  return atomic_write_file(fs, path, data);
+}
+
+}  // namespace acx::faultfs

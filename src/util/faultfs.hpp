@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "util/fs.hpp"
+#include "util/rng.hpp"
+
+namespace acx::faultfs {
+
+// Deterministic fault plan for FaultyFileSystem. Two modes per
+// operation, combinable:
+//  - fail_first_n: the first n matching calls fail (exact, for tests
+//    that assert retry counts);
+//  - fail_p: each matching call fails with probability p drawn from the
+//    seeded stream (for randomized soak runs).
+// `path_filter` (substring match on the target path) narrows the blast
+// radius so a test can, e.g., only fail renames into out/.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  std::string path_filter;
+
+  double read_fail_p = 0.0;
+  double write_fail_p = 0.0;
+  double rename_fail_p = 0.0;
+  int read_fail_first_n = 0;
+  int write_fail_first_n = 0;
+  int rename_fail_first_n = 0;
+
+  // Injected write faults tear the write: the first half of the content
+  // is written through before the failure is reported. This is what
+  // makes the atomic-write audit meaningful.
+  bool torn_writes = true;
+};
+
+struct FaultStats {
+  int injected_read_faults = 0;
+  int injected_write_faults = 0;
+  int injected_rename_faults = 0;
+  int total() const {
+    return injected_read_faults + injected_write_faults +
+           injected_rename_faults;
+  }
+};
+
+// Shim over another FileSystem that injects transient I/O faults
+// according to a FaultConfig. All decisions come from the seeded PRNG,
+// so a given (seed, call sequence) always fails the same calls.
+class FaultyFileSystem final : public FileSystem {
+ public:
+  FaultyFileSystem(FileSystem& inner, FaultConfig config);
+
+  Result<std::string, IoError> read_file(
+      const std::filesystem::path& path) override;
+  Result<Unit, IoError> write_file(const std::filesystem::path& path,
+                                   std::string_view content) override;
+  Result<Unit, IoError> rename(const std::filesystem::path& from,
+                               const std::filesystem::path& to) override;
+  Result<Unit, IoError> create_directories(
+      const std::filesystem::path& path) override;
+  Result<std::vector<std::filesystem::path>, IoError> list_dir(
+      const std::filesystem::path& dir) override;
+  Result<std::vector<std::filesystem::path>, IoError> list_tree(
+      const std::filesystem::path& dir) override;
+  Result<Unit, IoError> remove_all(const std::filesystem::path& path) override;
+  bool exists(const std::filesystem::path& path) override;
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  bool matches(const std::filesystem::path& path) const;
+  bool should_fail(const std::filesystem::path& path, double p, int& first_n);
+
+  FileSystem& inner_;
+  FaultConfig cfg_;
+  Xoshiro256 rng_;
+  FaultStats stats_;
+};
+
+// --- Record-corruption utilities -----------------------------------------
+// Deterministic mutations of on-disk inputs, used by the fault-injection
+// suite to manufacture poisoned records. They operate through a
+// FileSystem so they compose with the shim.
+
+// Flip `n_flips` random bits at random byte offsets.
+Result<Unit, IoError> flip_bytes(FileSystem& fs,
+                                 const std::filesystem::path& path, int n_flips,
+                                 std::uint64_t seed);
+
+// Keep only the leading `keep_fraction` of the file (truncates a V1 file
+// mid-data-block for any sensible fraction).
+Result<Unit, IoError> truncate_file(FileSystem& fs,
+                                    const std::filesystem::path& path,
+                                    double keep_fraction);
+
+}  // namespace acx::faultfs

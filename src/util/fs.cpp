@@ -1,0 +1,163 @@
+#include "util/fs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+namespace acx {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+IoError make_error(IoError::Code code, ErrorClass klass, const stdfs::path& p,
+                   std::string detail) {
+  return IoError{code, klass, p.string(), std::move(detail)};
+}
+
+}  // namespace
+
+Result<std::string, IoError> RealFileSystem::read_file(const stdfs::path& path) {
+  std::error_code ec;
+  if (!stdfs::exists(path, ec)) {
+    return make_error(IoError::Code::kNotFound, ErrorClass::kPoison, path,
+                      "no such file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(IoError::Code::kOpenFailed, ErrorClass::kTransient, path,
+                      std::strerror(errno));
+  }
+  std::string content;
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  if (end < 0) {
+    return make_error(IoError::Code::kReadFailed, ErrorClass::kTransient, path,
+                      "tellg failed");
+  }
+  content.resize(static_cast<std::size_t>(end));
+  in.seekg(0, std::ios::beg);
+  if (!content.empty()) {
+    in.read(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+  if (!in) {
+    return make_error(IoError::Code::kReadFailed, ErrorClass::kTransient, path,
+                      "short read");
+  }
+  return content;
+}
+
+Result<Unit, IoError> RealFileSystem::write_file(const stdfs::path& path,
+                                                 std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return make_error(IoError::Code::kOpenFailed, ErrorClass::kTransient, path,
+                      std::strerror(errno));
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) {
+    return make_error(IoError::Code::kWriteFailed, ErrorClass::kTransient, path,
+                      "short write");
+  }
+  return Unit{};
+}
+
+Result<Unit, IoError> RealFileSystem::rename(const stdfs::path& from,
+                                             const stdfs::path& to) {
+  std::error_code ec;
+  stdfs::rename(from, to, ec);
+  if (ec) {
+    return make_error(IoError::Code::kRenameFailed, ErrorClass::kTransient,
+                      from, ec.message() + " -> " + to.string());
+  }
+  return Unit{};
+}
+
+Result<Unit, IoError> RealFileSystem::create_directories(const stdfs::path& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) {
+    return make_error(IoError::Code::kCreateDirFailed, ErrorClass::kTransient,
+                      path, ec.message());
+  }
+  return Unit{};
+}
+
+Result<std::vector<stdfs::path>, IoError> RealFileSystem::list_dir(
+    const stdfs::path& dir) {
+  std::error_code ec;
+  std::vector<stdfs::path> out;
+  for (stdfs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec)) out.push_back(it->path());
+  }
+  if (ec) {
+    return make_error(IoError::Code::kListFailed, ErrorClass::kTransient, dir,
+                      ec.message());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<stdfs::path>, IoError> RealFileSystem::list_tree(
+    const stdfs::path& dir) {
+  std::error_code ec;
+  std::vector<stdfs::path> out;
+  for (stdfs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec)) out.push_back(it->path());
+  }
+  if (ec) {
+    return make_error(IoError::Code::kListFailed, ErrorClass::kTransient, dir,
+                      ec.message());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<Unit, IoError> RealFileSystem::remove_all(const stdfs::path& path) {
+  std::error_code ec;
+  stdfs::remove_all(path, ec);
+  if (ec) {
+    return make_error(IoError::Code::kRemoveFailed, ErrorClass::kTransient,
+                      path, ec.message());
+  }
+  return Unit{};
+}
+
+bool RealFileSystem::exists(const stdfs::path& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+bool is_atomic_tmp_name(const stdfs::path& path) {
+  const std::string name = path.filename().string();
+  return name.rfind(kAtomicTmpPrefix, 0) == 0;
+}
+
+Result<Unit, IoError> atomic_write_file(FileSystem& fs, const stdfs::path& dest,
+                                        std::string_view content) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  stdfs::path tmp = dest.parent_path() /
+                    (std::string(kAtomicTmpPrefix) + dest.filename().string() +
+                     "." + std::to_string(id));
+  auto wrote = fs.write_file(tmp, content);
+  if (!wrote.ok()) {
+    (void)fs.remove_all(tmp);
+    return std::move(wrote).take_error();
+  }
+  auto renamed = fs.rename(tmp, dest);
+  if (!renamed.ok()) {
+    (void)fs.remove_all(tmp);
+    return std::move(renamed).take_error();
+  }
+  return Unit{};
+}
+
+}  // namespace acx

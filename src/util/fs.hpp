@@ -1,0 +1,72 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/result.hpp"
+
+namespace acx {
+
+// Every filesystem touch in the pipeline goes through this interface so
+// the fault-injection shim (util/faultfs.hpp) can intercept it. The
+// pipeline never calls std::filesystem or iostreams directly.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual Result<std::string, IoError> read_file(
+      const std::filesystem::path& path) = 0;
+  // Raw write. Pipeline code should normally use atomic_write_file().
+  virtual Result<Unit, IoError> write_file(const std::filesystem::path& path,
+                                           std::string_view content) = 0;
+  virtual Result<Unit, IoError> rename(const std::filesystem::path& from,
+                                       const std::filesystem::path& to) = 0;
+  virtual Result<Unit, IoError> create_directories(
+      const std::filesystem::path& path) = 0;
+  // Regular files directly inside `dir`, sorted by name.
+  virtual Result<std::vector<std::filesystem::path>, IoError> list_dir(
+      const std::filesystem::path& dir) = 0;
+  // Every regular file under `dir`, recursively, sorted by path.
+  virtual Result<std::vector<std::filesystem::path>, IoError> list_tree(
+      const std::filesystem::path& dir) = 0;
+  virtual Result<Unit, IoError> remove_all(const std::filesystem::path& path) = 0;
+  virtual bool exists(const std::filesystem::path& path) = 0;
+};
+
+class RealFileSystem final : public FileSystem {
+ public:
+  Result<std::string, IoError> read_file(
+      const std::filesystem::path& path) override;
+  Result<Unit, IoError> write_file(const std::filesystem::path& path,
+                                   std::string_view content) override;
+  Result<Unit, IoError> rename(const std::filesystem::path& from,
+                               const std::filesystem::path& to) override;
+  Result<Unit, IoError> create_directories(
+      const std::filesystem::path& path) override;
+  Result<std::vector<std::filesystem::path>, IoError> list_dir(
+      const std::filesystem::path& dir) override;
+  Result<std::vector<std::filesystem::path>, IoError> list_tree(
+      const std::filesystem::path& dir) override;
+  Result<Unit, IoError> remove_all(const std::filesystem::path& path) override;
+  bool exists(const std::filesystem::path& path) override;
+};
+
+// Prefix of every in-flight temporary; acx_validate audits the work tree
+// for leftovers with this prefix to prove no partial write survived.
+inline constexpr std::string_view kAtomicTmpPrefix = ".acx-tmp.";
+
+bool is_atomic_tmp_name(const std::filesystem::path& path);
+
+// The only sanctioned way to produce an output file: write the full
+// content to <dir>/.acx-tmp.<name>.<unique>, then rename() over the
+// destination. Readers therefore only ever observe absent or complete
+// files. On any failure the temporary is removed (best effort) before
+// the error is returned.
+Result<Unit, IoError> atomic_write_file(FileSystem& fs,
+                                        const std::filesystem::path& dest,
+                                        std::string_view content);
+
+}  // namespace acx

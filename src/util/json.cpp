@@ -1,0 +1,312 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace acx {
+
+Json& Json::set(std::string key, Json value) {
+  auto& obj = std::get<Object>(v_);
+  for (auto& [k, v] : obj) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  std::get<Array>(v_).push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : fields()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Json::get_string(std::string_view key, std::string fallback) const {
+  const Json* v = find(key);
+  return (v && v->is_string()) ? v->str() : fallback;
+}
+
+double Json::get_number(std::string_view key, double fallback) const {
+  const Json* v = find(key);
+  return (v && v->is_number()) ? v->number() : fallback;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no NaN/Inf; reports never contain them.
+    return;
+  }
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::fabs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += boolean() ? "true" : "false";
+  } else if (is_number()) {
+    number_into(out, number());
+  } else if (is_string()) {
+    escape_into(out, str());
+  } else if (is_array()) {
+    const auto& arr = items();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out += ',';
+      newline_indent(out, indent, depth + 1);
+      arr[i].dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& obj = fields();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      if (i) out += ',';
+      newline_indent(out, indent, depth + 1);
+      escape_into(out, obj[i].first);
+      out += indent > 0 ? ": " : ":";
+      obj[i].second.dump_to(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  Json::ParseFail fail(std::string detail) const { return {pos, std::move(detail)}; }
+
+  void skip_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text.substr(pos, w.size()) != w) return false;
+    pos += w.size();
+    return true;
+  }
+
+  Result<Json, Json::ParseFail> value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') {
+      auto s = string();
+      if (!s.ok()) return std::move(s).take_error();
+      return Json(std::move(s).take());
+    }
+    if (consume_word("true")) return Json(true);
+    if (consume_word("false")) return Json(false);
+    if (consume_word("null")) return Json(nullptr);
+    return number();
+  }
+
+  Result<Json, Json::ParseFail> object(int depth) {
+    ++pos;  // '{'
+    Json out = Json::object();
+    skip_ws();
+    if (consume('}')) return out;
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      auto key = string();
+      if (!key.ok()) return std::move(key).take_error();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      auto v = value(depth + 1);
+      if (!v.ok()) return v;
+      out.set(std::move(key).take(), std::move(v).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return out;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Result<Json, Json::ParseFail> array(int depth) {
+    ++pos;  // '['
+    Json out = Json::array();
+    skip_ws();
+    if (consume(']')) return out;
+    for (;;) {
+      auto v = value(depth + 1);
+      if (!v.ok()) return v;
+      out.push(std::move(v).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return out;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string, Json::ParseFail> string() {
+    ++pos;  // '"'
+    std::string out;
+    while (!at_end()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (at_end()) return fail("bad escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Reports only escape control chars, so ASCII is enough;
+            // anything above is transcoded naively to UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<Json, Json::ParseFail> number() {
+    const std::size_t start = pos;
+    if (!at_end() && (peek() == '-' || peek() == '+')) ++pos;
+    while (!at_end() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                         peek() == 'e' || peek() == 'E' || peek() == '-' ||
+                         peek() == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected value");
+    double d = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data() + start, text.data() + pos, d);
+    if (ec != std::errc{} || ptr != text.data() + pos) {
+      pos = start;
+      return fail("malformed number");
+    }
+    return Json(d);
+  }
+};
+
+}  // namespace
+
+Result<Json, Json::ParseFail> Json::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.value(0);
+  if (!v.ok()) return v;
+  p.skip_ws();
+  if (!p.at_end()) return p.fail("trailing garbage");
+  return v;
+}
+
+}  // namespace acx

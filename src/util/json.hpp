@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace acx {
+
+// Minimal JSON value: enough to write and re-read run_report.json.
+// Objects preserve insertion order (reports stay diffable).
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  struct ParseFail {
+    std::size_t offset = 0;
+    std::string detail;
+  };
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(long l) : v_(static_cast<double>(l)) {}
+  Json(std::size_t s) : v_(static_cast<double>(s)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool boolean() const { return std::get<bool>(v_); }
+  double number() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+  const Array& items() const { return std::get<Array>(v_); }
+  const Object& fields() const { return std::get<Object>(v_); }
+
+  // Object: append (or replace) a field.
+  Json& set(std::string key, Json value);
+  // Array: append an element.
+  Json& push(Json value);
+  // Object lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  // Convenience typed lookups with fallbacks, for schema-tolerant reads.
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+  double get_number(std::string_view key, double fallback = 0) const;
+
+  std::string dump(int indent = 0) const;
+
+  static Result<Json, ParseFail> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace acx

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+namespace acx {
+
+// Hard invariant check that survives NDEBUG: the robustness contract is
+// "no silent corruption", so misuse of Result aborts loudly instead of
+// reading the wrong variant alternative.
+[[noreturn]] inline void fatal(const char* msg) {
+  std::fputs("acx fatal: ", stderr);
+  std::fputs(msg, stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+// Empty success payload for Result<Unit, E>.
+struct Unit {
+  friend bool operator==(Unit, Unit) { return true; }
+};
+
+// Minimal expected<>-style sum type. Every stage and filesystem boundary
+// returns a Result; exceptions never cross those boundaries.
+template <class T, class E>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    if (!ok()) fatal("Result::value() called on error");
+    return std::get<0>(v_);
+  }
+  const T& value() const& {
+    if (!ok()) fatal("Result::value() called on error");
+    return std::get<0>(v_);
+  }
+  T&& take() && {
+    if (!ok()) fatal("Result::take() called on error");
+    return std::get<0>(std::move(v_));
+  }
+
+  E& error() & {
+    if (ok()) fatal("Result::error() called on success");
+    return std::get<1>(v_);
+  }
+  const E& error() const& {
+    if (ok()) fatal("Result::error() called on success");
+    return std::get<1>(v_);
+  }
+  E&& take_error() && {
+    if (ok()) fatal("Result::take_error() called on success");
+    return std::get<1>(std::move(v_));
+  }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+}  // namespace acx

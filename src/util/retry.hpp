@@ -1,0 +1,50 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/result.hpp"
+
+namespace acx {
+
+// Capped exponential backoff: attempt k (1-based) sleeps
+// min(initial * multiplier^(k-1), max) before attempt k+1.
+struct RetryPolicy {
+  int max_attempts = 4;
+  int initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  int max_backoff_ms = 250;
+
+  int backoff_ms_for(int attempt) const {
+    double ms = initial_backoff_ms;
+    for (int i = 1; i < attempt; ++i) {
+      ms *= multiplier;
+      if (ms >= max_backoff_ms) return max_backoff_ms;
+    }
+    return std::min(static_cast<int>(ms), max_backoff_ms);
+  }
+};
+
+// Injected so tests retry instantly; production uses a real sleep.
+using SleepFn = std::function<void(int /*milliseconds*/)>;
+
+// Re-runs `fn` while it returns a *transient* error, up to
+// policy.max_attempts total attempts. Poison errors return immediately.
+// `classify` maps E -> ErrorClass; `attempts_used` (optional) reports
+// how many attempts ran.
+template <class T, class E, class Fn, class Classify>
+Result<T, E> run_with_retry(const RetryPolicy& policy, const SleepFn& sleep,
+                            Classify classify, Fn fn,
+                            int* attempts_used = nullptr) {
+  for (int attempt = 1;; ++attempt) {
+    Result<T, E> r = fn();
+    if (attempts_used) *attempts_used = attempt;
+    if (r.ok()) return r;
+    if (classify(r.error()) != ErrorClass::kTransient) return r;
+    if (attempt >= policy.max_attempts) return r;
+    if (sleep) sleep(policy.backoff_ms_for(attempt));
+  }
+}
+
+}  // namespace acx

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace acx {
+
+// SplitMix64: seeds the main generator and derives independent streams
+// (one per record / per injected-fault site) from a single run seed.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** — deterministic, fast, and good enough for both the
+// synthetic ground-motion generator and the fault injector.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t span = hi - lo + 1;
+    return lo + next_u64() % span;
+  }
+
+  // Standard normal via Box–Muller (cached second deviate).
+  double next_gaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace acx

@@ -1,0 +1,302 @@
+// The acceptance suite for the fault-tolerant execution layer: for every
+// injected fault class, an event run with N records completes with
+// exactly the poisoned records quarantined, N-k valid V2 outputs, a
+// run_report.json listing every outcome, and zero partially-written
+// files (the atomic-write audit in validate_workdir).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "formats/v1.hpp"
+#include "formats/v2.hpp"
+#include "pipeline/runner.hpp"
+#include "pipeline/validate.hpp"
+#include "synth/synth.hpp"
+#include "test_helpers.hpp"
+#include "util/faultfs.hpp"
+
+namespace acx::pipeline {
+namespace {
+
+RunnerConfig test_config() {
+  RunnerConfig cfg;
+  cfg.sleep = [](int) {};
+  return cfg;
+}
+
+std::vector<std::filesystem::path> build_event(
+    FileSystem& fs, const std::filesystem::path& dir, int n_files) {
+  synth::EventSpec spec = synth::paper_events()[0];
+  spec.n_files = n_files;
+  synth::SynthConfig scfg;
+  scfg.scale = 0.02;
+  auto written = synth::build_event_dataset(fs, dir, spec, scfg);
+  EXPECT_TRUE(written.ok());
+  std::vector<std::filesystem::path> paths;
+  for (const auto& name : written.value()) paths.push_back(dir / name);
+  return paths;
+}
+
+// Full acceptance check: counts, outputs parse, quarantine files exist,
+// report agrees, audit clean.
+void expect_degraded_gracefully(FileSystem& fs, const RunReport& report,
+                                const std::filesystem::path& work,
+                                int n_records,
+                                const std::set<std::string>& poisoned_ids) {
+  ASSERT_EQ(report.records.size(), static_cast<std::size_t>(n_records));
+  EXPECT_EQ(report.count_quarantined(),
+            static_cast<int>(poisoned_ids.size()));
+  EXPECT_EQ(report.count_ok(),
+            n_records - static_cast<int>(poisoned_ids.size()));
+
+  for (const RecordOutcome& r : report.records) {
+    if (poisoned_ids.count(r.record)) {
+      EXPECT_EQ(r.status, RecordOutcome::Status::kQuarantined)
+          << r.record << " should have been quarantined";
+      EXPECT_FALSE(r.reason.empty());
+      EXPECT_TRUE(fs.exists(r.quarantine))
+          << r.record << ": quarantine file missing";
+      // Quarantine naming contract: <work>/quarantine/<record>.<reason>
+      EXPECT_EQ(std::filesystem::path(r.quarantine).filename().string(),
+                r.record + "." + r.reason);
+    } else {
+      EXPECT_EQ(r.status, RecordOutcome::Status::kOk)
+          << r.record << " quarantined: " << r.reason;
+      auto content = fs.read_file(r.output);
+      ASSERT_TRUE(content.ok());
+      EXPECT_TRUE(formats::read_v2(content.value()).ok())
+          << r.record << ": surviving output is not valid V2";
+    }
+  }
+
+  const ValidationSummary audit = validate_workdir(fs, work);
+  EXPECT_TRUE(audit.clean())
+      << audit.issues.size() << " issue(s), first: "
+      << audit.issues.front().kind << ": " << audit.issues.front().detail;
+}
+
+TEST(FaultInjection, CorruptHeaderIsQuarantinedRunContinues) {
+  test::TempDir tmp("inject");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  const auto files = build_event(fs, input, 8);
+
+  // Corrupt one record's magic.
+  const auto victim = files[3];
+  auto content = fs.read_file(victim);
+  ASSERT_TRUE(content.ok());
+  std::string bytes = content.value();
+  bytes.replace(0, 6, "BROKEN");
+  ASSERT_TRUE(fs.write_file(victim, bytes).ok());
+  const std::string victim_id = victim.stem().string();
+
+  auto run = run_pipeline(fs, input, work, test_config());
+  ASSERT_TRUE(run.ok());
+  expect_degraded_gracefully(fs, run.value(), work, 8, {victim_id});
+
+  for (const RecordOutcome& r : run.value().records) {
+    if (r.record != victim_id) continue;
+    EXPECT_EQ(r.reason, "parse.bad_magic");
+    // Original bytes preserved for post-mortem.
+    auto q = fs.read_file(r.quarantine);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q.value(), bytes);
+  }
+}
+
+TEST(FaultInjection, TruncatedRecordIsQuarantined) {
+  test::TempDir tmp("inject");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  const auto files = build_event(fs, input, 8);
+
+  const auto victim = files[5];
+  ASSERT_TRUE(faultfs::truncate_file(fs, victim, 0.45).ok());
+  const std::string victim_id = victim.stem().string();
+
+  auto run = run_pipeline(fs, input, work, test_config());
+  ASSERT_TRUE(run.ok());
+  expect_degraded_gracefully(fs, run.value(), work, 8, {victim_id});
+  for (const RecordOutcome& r : run.value().records) {
+    if (r.record == victim_id) {
+      EXPECT_EQ(r.reason.rfind("parse.", 0), 0u) << r.reason;
+    }
+  }
+}
+
+TEST(FaultInjection, BitFlippedRecordIsQuarantined) {
+  test::TempDir tmp("inject");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  const auto files = build_event(fs, input, 8);
+
+  const auto victim = files[1];
+  ASSERT_TRUE(faultfs::flip_bytes(fs, victim, 24, /*seed=*/2024).ok());
+  const std::string victim_id = victim.stem().string();
+
+  // Sanity: the flips really poisoned the file (seeded, so stable).
+  auto poisoned = fs.read_file(victim);
+  ASSERT_TRUE(poisoned.ok());
+  ASSERT_FALSE(formats::read_v1(poisoned.value()).ok());
+
+  auto run = run_pipeline(fs, input, work, test_config());
+  ASSERT_TRUE(run.ok());
+  expect_degraded_gracefully(fs, run.value(), work, 8, {victim_id});
+  for (const RecordOutcome& r : run.value().records) {
+    if (r.record == victim_id) {
+      EXPECT_EQ(r.reason.rfind("parse.", 0), 0u) << r.reason;
+    }
+  }
+}
+
+TEST(FaultInjection, TransientRenameFaultsAreRetriedToSuccess) {
+  test::TempDir tmp("inject");
+  RealFileSystem real;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_event(real, input, 6);
+
+  faultfs::FaultConfig fcfg;
+  fcfg.rename_fail_first_n = 3;  // first three stage-out renames fail
+  fcfg.path_filter = "/out/";
+  faultfs::FaultyFileSystem fs(real, fcfg);
+
+  RunnerConfig cfg = test_config();
+  cfg.retry.max_attempts = 5;
+  auto run = run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok());
+
+  // Nothing quarantined: the faults were transient and retry absorbed
+  // them; the retries are visible in the report.
+  expect_degraded_gracefully(real, run.value(), work, 6, {});
+  EXPECT_EQ(fs.stats().injected_rename_faults, 3);
+  EXPECT_GE(run.value().count_retries(), 3);
+}
+
+TEST(FaultInjection, TornWriteFaultsNeverLeavePartialOutputs) {
+  test::TempDir tmp("inject");
+  RealFileSystem real;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_event(real, input, 12);
+
+  faultfs::FaultConfig fcfg;
+  fcfg.seed = 7;
+  fcfg.write_fail_p = 0.30;   // heavy weather
+  fcfg.torn_writes = true;    // failures leave half-written temp files
+  fcfg.path_filter = ".v2";   // v2 writes (scratch + out) only
+  faultfs::FaultyFileSystem fs(real, fcfg);
+
+  RunnerConfig cfg = test_config();
+  cfg.retry.max_attempts = 6;
+  auto run = run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok());
+
+  // Graceful degradation either way: a record is ok, or it exhausted its
+  // retries and was quarantined as transient_exhausted — but the tree
+  // must be clean and the report must account for every record.
+  ASSERT_EQ(run.value().records.size(), 12u);
+  for (const RecordOutcome& r : run.value().records) {
+    if (r.status == RecordOutcome::Status::kQuarantined) {
+      EXPECT_EQ(r.reason.rfind("transient_exhausted.", 0), 0u) << r.reason;
+    }
+  }
+  const ValidationSummary audit = validate_workdir(real, work);
+  EXPECT_TRUE(audit.clean())
+      << audit.issues.front().kind << ": " << audit.issues.front().detail;
+  EXPECT_GT(fs.stats().injected_write_faults, 0);
+}
+
+TEST(FaultInjection, StageCrashOnKthInvocationQuarantinesExactlyThatRecord) {
+  test::TempDir tmp("inject");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  const auto files = build_event(fs, input, 8);
+
+  RunnerConfig cfg = test_config();
+  cfg.stage_fault.stage = "detrend";
+  cfg.stage_fault.kill_on_invocation = 4;  // 4th record to reach detrend
+  auto run = run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok());
+
+  // Records run in sorted order and all are healthy, so the 4th record
+  // is the victim.
+  const std::string victim_id = files[3].stem().string();
+  expect_degraded_gracefully(fs, run.value(), work, 8, {victim_id});
+  for (const RecordOutcome& r : run.value().records) {
+    if (r.record == victim_id) {
+      EXPECT_EQ(r.reason, "stage_crash.detrend");
+    }
+  }
+}
+
+TEST(FaultInjection, TransientStageCrashIsRetriedInPlace) {
+  test::TempDir tmp("inject");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_event(fs, input, 4);
+
+  RunnerConfig cfg = test_config();
+  cfg.stage_fault.stage = "demean";
+  cfg.stage_fault.kill_on_invocation = 2;
+  cfg.stage_fault.transient = true;  // flaky, not fatal: retry absorbs it
+  auto run = run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok());
+  expect_degraded_gracefully(fs, run.value(), work, 4, {});
+  EXPECT_EQ(run.value().count_retries(), 1);
+}
+
+TEST(FaultInjection, MixedFaultStormDegradesToExactlyTheSurvivors) {
+  test::TempDir tmp("inject");
+  RealFileSystem real;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  const auto files = build_event(real, input, 8);
+
+  // Three poisoned inputs...
+  auto magic_victim = files[0];
+  auto content = real.read_file(magic_victim);
+  ASSERT_TRUE(content.ok());
+  std::string bytes = content.value();
+  bytes.replace(0, 6, "BROKEN");
+  ASSERT_TRUE(real.write_file(magic_victim, bytes).ok());
+  ASSERT_TRUE(faultfs::truncate_file(real, files[2], 0.5).ok());
+  ASSERT_TRUE(faultfs::flip_bytes(real, files[4], 24, 2024).ok());
+  {
+    auto flipped = real.read_file(files[4]);
+    ASSERT_TRUE(flipped.ok());
+    ASSERT_FALSE(formats::read_v1(flipped.value()).ok());
+  }
+
+  // ...plus transient rename faults on the way out...
+  faultfs::FaultConfig fcfg;
+  fcfg.rename_fail_first_n = 2;
+  fcfg.path_filter = "/out/";
+  faultfs::FaultyFileSystem fs(real, fcfg);
+
+  // ...plus a stage crash on the 2nd healthy record to reach detrend.
+  RunnerConfig cfg = test_config();
+  cfg.retry.max_attempts = 5;
+  cfg.stage_fault.stage = "detrend";
+  cfg.stage_fault.kill_on_invocation = 2;
+
+  auto run = run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok());
+
+  // Healthy records in sorted order: files 1,3,5,6,7; detrend invocation
+  // 2 lands on files[3].
+  const std::set<std::string> poisoned = {
+      files[0].stem().string(), files[2].stem().string(),
+      files[4].stem().string(), files[3].stem().string()};
+  expect_degraded_gracefully(real, run.value(), work, 8, poisoned);
+  EXPECT_EQ(run.value().count_ok(), 4);
+}
+
+}  // namespace
+}  // namespace acx::pipeline

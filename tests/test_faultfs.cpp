@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/faultfs.hpp"
+#include "util/fs.hpp"
+
+namespace acx {
+namespace {
+
+using faultfs::FaultConfig;
+using faultfs::FaultyFileSystem;
+
+TEST(FaultFs, FailFirstNWritesThenSucceeds) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem real;
+  FaultConfig cfg;
+  cfg.write_fail_first_n = 2;
+  FaultyFileSystem fs(real, cfg);
+
+  const auto path = tmp.path() / "f.txt";
+  auto w1 = fs.write_file(path, "x");
+  auto w2 = fs.write_file(path, "x");
+  auto w3 = fs.write_file(path, "x");
+  EXPECT_FALSE(w1.ok());
+  EXPECT_EQ(w1.error().code, IoError::Code::kInjectedWriteFault);
+  EXPECT_EQ(w1.error().klass, ErrorClass::kTransient);
+  EXPECT_FALSE(w2.ok());
+  EXPECT_TRUE(w3.ok());
+  EXPECT_EQ(fs.stats().injected_write_faults, 2);
+}
+
+TEST(FaultFs, TornWriteLeavesHalfTheBytes) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem real;
+  FaultConfig cfg;
+  cfg.write_fail_first_n = 1;
+  cfg.torn_writes = true;
+  FaultyFileSystem fs(real, cfg);
+
+  const auto path = tmp.path() / "torn.txt";
+  EXPECT_FALSE(fs.write_file(path, "0123456789").ok());
+  auto read = real.read_file(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "01234");  // the torn half really landed
+}
+
+TEST(FaultFs, RenameFaultsRespectPathFilter) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem real;
+  FaultConfig cfg;
+  cfg.rename_fail_first_n = 100;  // would fail everything...
+  cfg.path_filter = "/only-this/";  // ...but only under this path
+  FaultyFileSystem fs(real, cfg);
+
+  const auto a = tmp.path() / "a.txt";
+  const auto b = tmp.path() / "b.txt";
+  ASSERT_TRUE(real.write_file(a, "x").ok());
+  EXPECT_TRUE(fs.rename(a, b).ok());  // filter does not match -> no fault
+
+  ASSERT_TRUE(real.create_directories(tmp.path() / "only-this").ok());
+  const auto c = tmp.path() / "only-this" / "c.txt";
+  auto r = fs.rename(b, c);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, IoError::Code::kInjectedRenameFault);
+}
+
+TEST(FaultFs, ProbabilisticFaultsAreSeedDeterministic) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem real;
+  auto run_sequence = [&](std::uint64_t seed) {
+    FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.write_fail_p = 0.5;
+    cfg.torn_writes = false;
+    FaultyFileSystem fs(real, cfg);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 32; ++i) {
+      outcomes.push_back(
+          fs.write_file(tmp.path() / "p.txt", "x").ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run_sequence(7), run_sequence(7));
+  EXPECT_NE(run_sequence(7), run_sequence(8));
+}
+
+TEST(FaultFs, AtomicWriteCleansUpAfterInjectedRenameFault) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem real;
+  FaultConfig cfg;
+  cfg.rename_fail_first_n = 1;
+  FaultyFileSystem fs(real, cfg);
+
+  const auto dest = tmp.path() / "out.v2";
+  auto w = atomic_write_file(fs, dest, "content");
+  EXPECT_FALSE(w.ok());
+  // Neither the destination nor any temporary may exist afterwards.
+  auto files = real.list_dir(tmp.path());
+  ASSERT_TRUE(files.ok());
+  EXPECT_TRUE(files.value().empty());
+}
+
+TEST(FaultFs, AtomicWriteCleansUpAfterTornWriteFault) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem real;
+  FaultConfig cfg;
+  cfg.write_fail_first_n = 1;
+  cfg.torn_writes = true;
+  FaultyFileSystem fs(real, cfg);
+
+  EXPECT_FALSE(atomic_write_file(fs, tmp.path() / "out.v2", "content").ok());
+  auto files = real.list_dir(tmp.path());
+  ASSERT_TRUE(files.ok());
+  EXPECT_TRUE(files.value().empty());
+}
+
+TEST(FaultFs, FlipBytesIsDeterministic) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem fs;
+  const auto a = tmp.path() / "a.bin";
+  const auto b = tmp.path() / "b.bin";
+  const std::string original(256, 'A');
+  ASSERT_TRUE(fs.write_file(a, original).ok());
+  ASSERT_TRUE(fs.write_file(b, original).ok());
+
+  ASSERT_TRUE(faultfs::flip_bytes(fs, a, 5, 99).ok());
+  ASSERT_TRUE(faultfs::flip_bytes(fs, b, 5, 99).ok());
+  auto ra = fs.read_file(a);
+  auto rb = fs.read_file(b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra.value(), rb.value());
+  EXPECT_NE(ra.value(), original);
+  EXPECT_EQ(ra.value().size(), original.size());
+}
+
+TEST(FaultFs, TruncateKeepsExactFraction) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem fs;
+  const auto path = tmp.path() / "t.bin";
+  ASSERT_TRUE(fs.write_file(path, std::string(1000, 'x')).ok());
+  ASSERT_TRUE(faultfs::truncate_file(fs, path, 0.37).ok());
+  auto read = fs.read_file(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), 370u);
+}
+
+}  // namespace
+}  // namespace acx

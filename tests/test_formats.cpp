@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "formats/v1.hpp"
+#include "formats/v2.hpp"
+
+namespace acx::formats {
+namespace {
+
+Record make_record(long npts = 19) {
+  Record rec;
+  rec.header.station = "SS01";
+  rec.header.component = "l";
+  rec.header.event_id = "EV06";
+  rec.header.date = "2019-07-07";
+  rec.header.dt = 0.005;
+  rec.header.npts = npts;
+  rec.header.units = "counts";
+  for (long i = 0; i < npts; ++i) {
+    rec.samples.push_back(123.456 * std::sin(0.1 * static_cast<double>(i)) -
+                          7.25);
+  }
+  return rec;
+}
+
+std::string replace_first(std::string text, const std::string& from,
+                          const std::string& to) {
+  const auto pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "corpus bug: '" << from << "' absent";
+  if (pos != std::string::npos) text.replace(pos, from.size(), to);
+  return text;
+}
+
+std::string drop_line(std::string text, const std::string& prefix) {
+  const auto pos = text.find(prefix);
+  EXPECT_NE(pos, std::string::npos) << "corpus bug: '" << prefix << "' absent";
+  if (pos == std::string::npos) return text;
+  const auto eol = text.find('\n', pos);
+  text.erase(pos, eol - pos + 1);
+  return text;
+}
+
+std::size_t data_start(const std::string& text) {
+  const auto pos = text.find("DATA\n");
+  EXPECT_NE(pos, std::string::npos);
+  return pos + 5;
+}
+
+TEST(V1, WriterReaderRoundTrip) {
+  const Record rec = make_record(19);
+  const std::string text = write_v1(rec);
+  auto back = read_v1(text);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  const Record& r = back.value();
+  EXPECT_EQ(r.header.station, "SS01");
+  EXPECT_EQ(r.header.component, "l");
+  EXPECT_EQ(r.header.event_id, "EV06");
+  EXPECT_EQ(r.header.date, "2019-07-07");
+  EXPECT_DOUBLE_EQ(r.header.dt, 0.005);
+  EXPECT_EQ(r.header.npts, 19);
+  EXPECT_EQ(r.header.units, "counts");
+  ASSERT_EQ(r.samples.size(), rec.samples.size());
+  for (std::size_t i = 0; i < r.samples.size(); ++i) {
+    // %12.4e keeps 5 significant digits.
+    EXPECT_NEAR(r.samples[i], rec.samples[i],
+                1e-4 * std::fabs(rec.samples[i]) + 1e-12);
+  }
+}
+
+TEST(V1, CanonicalFormIsIdempotent) {
+  const std::string text = write_v1(make_record(8));
+  auto back = read_v1(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(write_v1(back.value()), text);  // golden: re-emit is byte-identical
+}
+
+TEST(V1, SingleSampleAndExactMultipleOfRowWidth) {
+  for (const long npts : {1L, 8L, 16L}) {
+    Record rec = make_record(npts);
+    auto back = read_v1(write_v1(rec));
+    ASSERT_TRUE(back.ok()) << "npts=" << npts << ": "
+                           << back.error().to_string();
+    EXPECT_EQ(back.value().header.npts, npts);
+  }
+}
+
+TEST(V2, RoundTripWithProcessingList) {
+  V2Record v2;
+  v2.record = make_record(11);
+  v2.record.header.units = "cm/s2";
+  v2.processing = {"demean", "detrend", "write_v2"};
+  auto back = read_v2(write_v2(v2));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value().processing, v2.processing);
+  EXPECT_EQ(back.value().record.header.units, "cm/s2");
+}
+
+TEST(V2, RejectsCountsUnits) {
+  V2Record v2;
+  v2.record = make_record(4);
+  v2.record.header.units = "counts";
+  v2.processing = {"demean"};
+  auto back = read_v2(write_v2(v2));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, ParseError::Code::kBadUnits);
+}
+
+TEST(V1, RejectsV2File) {
+  V2Record v2;
+  v2.record = make_record(4);
+  v2.record.header.units = "cm/s2";
+  v2.processing = {"demean"};
+  auto back = read_v1(write_v2(v2));
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.error().code, ParseError::Code::kBadMagic);
+}
+
+// --- Malformed-record corpus ---------------------------------------------
+// Every mutation must yield its exact ParseError code — never a crash,
+// never silent acceptance.
+
+struct MalformedCase {
+  const char* name;
+  std::function<std::string(std::string)> mutate;
+  ParseError::Code expected;
+};
+
+TEST(V1MalformedCorpus, EveryFaultYieldsItsTypedError) {
+  const std::string valid = write_v1(make_record(19));  // 8 + 8 + 3 layout
+  const std::string full_line = valid.substr(data_start(valid), 96);
+
+  const MalformedCase kCases[] = {
+      {"empty_file", [](std::string) { return std::string(); },
+       ParseError::Code::kEmptyFile},
+      {"bad_magic",
+       [](std::string s) { return replace_first(s, "ACX-V1", "XXX-V1"); },
+       ParseError::Code::kBadMagic},
+      {"unsupported_version",
+       [](std::string s) { return replace_first(s, "ACX-V1 1", "ACX-V1 2"); },
+       ParseError::Code::kUnsupportedVersion},
+      {"missing_npts", [](std::string s) { return drop_line(s, "NPTS "); },
+       ParseError::Code::kMissingHeaderField},
+      {"missing_station",
+       [](std::string s) { return drop_line(s, "STATION "); },
+       ParseError::Code::kMissingHeaderField},
+      {"non_numeric_dt",
+       [](std::string s) { return replace_first(s, "DT 5.000000e-03", "DT abc"); },
+       ParseError::Code::kBadHeaderField},
+      {"negative_dt",
+       [](std::string s) {
+         return replace_first(s, "DT 5.000000e-03", "DT -5.000000e-03");
+       },
+       ParseError::Code::kBadHeaderField},
+      {"zero_npts",
+       [](std::string s) { return replace_first(s, "NPTS 19", "NPTS 0"); },
+       ParseError::Code::kBadHeaderField},
+      {"npts_overflowing_long",
+       [](std::string s) {
+         return replace_first(s, "NPTS 19", "NPTS 99999999999999999999");
+       },
+       ParseError::Code::kBadHeaderField},
+      {"bad_component",
+       [](std::string s) { return replace_first(s, "COMPONENT l", "COMPONENT x"); },
+       ParseError::Code::kBadHeaderField},
+      {"bad_date",
+       [](std::string s) {
+         return replace_first(s, "DATE 2019-07-07", "DATE 07/07/2019");
+       },
+       ParseError::Code::kBadHeaderField},
+      {"unknown_units",
+       [](std::string s) { return replace_first(s, "UNITS counts", "UNITS gal"); },
+       ParseError::Code::kBadUnits},
+      {"duplicate_station",
+       [](std::string s) {
+         return replace_first(s, "COMPONENT l", "STATION SS99\nCOMPONENT l");
+       },
+       ParseError::Code::kDuplicateHeaderField},
+      {"unknown_header_field",
+       [](std::string s) {
+         return replace_first(s, "UNITS counts", "FOO bar\nUNITS counts");
+       },
+       ParseError::Code::kBadHeaderField},
+      {"processed_in_v1",
+       [](std::string s) {
+         return replace_first(s, "UNITS counts",
+                              "UNITS counts\nPROCESSED demean");
+       },
+       ParseError::Code::kBadHeaderField},
+      {"missing_data_marker",
+       [](std::string s) { return s.substr(0, s.find("DATA\n")); },
+       ParseError::Code::kMissingDataMarker},
+      {"short_data_block_line_removed",
+       [](std::string s) {
+         // Drop the final partial data line (3 cells + newline): the
+         // reader then hits END with samples still missing.
+         const auto end_pos = s.find("END\n");
+         EXPECT_NE(end_pos, std::string::npos);
+         return s.erase(end_pos - 37, 37);
+       },
+       ParseError::Code::kShortDataBlock},
+      {"truncated_mid_cell",
+       [&](std::string s) { return s.substr(0, data_start(s) + 97 + 50); },
+       ParseError::Code::kBadColumnWidth},
+      {"truncated_at_line_boundary",
+       [&](std::string s) { return s.substr(0, data_start(s) + 97); },
+       ParseError::Code::kShortDataBlock},
+      {"wrong_column_width",
+       [&](std::string s) {
+         return s.erase(data_start(s), 1);  // first data line one char short
+       },
+       ParseError::Code::kBadColumnWidth},
+      {"nan_sample",
+       [&](std::string s) {
+         return s.replace(data_start(s), 12, "         nan");
+       },
+       ParseError::Code::kNonFiniteSample},
+      {"inf_sample",
+       [&](std::string s) {
+         return s.replace(data_start(s), 12, "        -inf");
+       },
+       ParseError::Code::kNonFiniteSample},
+      {"malformed_number",
+       [&](std::string s) {
+         return s.replace(data_start(s), 12, "  1.23x4e+00");
+       },
+       ParseError::Code::kMalformedNumber},
+      {"blank_number_cell",
+       [&](std::string s) {
+         return s.replace(data_start(s), 12, "            ");
+       },
+       ParseError::Code::kMalformedNumber},
+      {"excess_data",
+       [&](std::string s) {
+         return replace_first(s, "END\n", full_line + "\nEND\n");
+       },
+       ParseError::Code::kExcessData},
+      {"missing_end_marker",
+       [](std::string s) { return replace_first(s, "END\n", ""); },
+       ParseError::Code::kMissingEndMarker},
+      {"trailing_garbage",
+       [](std::string s) { return s + "junk after the trailer\n"; },
+       ParseError::Code::kTrailingGarbage},
+      {"crlf_line_endings",
+       [](std::string s) {
+         std::string out;
+         for (const char c : s) {
+           if (c == '\n') out += '\r';
+           out += c;
+         }
+         return out;
+       },
+       ParseError::Code::kCrlfLineEnding},
+      {"non_ascii_byte",
+       [&](std::string s) {
+         s[data_start(s) + 3] = static_cast<char>(0xff);
+         return s;
+       },
+       ParseError::Code::kNonAsciiByte},
+      {"control_byte",
+       [&](std::string s) {
+         s[data_start(s) + 3] = '\x01';
+         return s;
+       },
+       ParseError::Code::kNonAsciiByte},
+  };
+
+  for (const MalformedCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    auto result = read_v1(c.mutate(valid));
+    ASSERT_FALSE(result.ok()) << "malformed record was accepted";
+    EXPECT_EQ(result.error().code, c.expected)
+        << "got " << result.error().to_string();
+  }
+}
+
+TEST(V1Diagnostics, ByteOffsetsPointAtTheFault) {
+  const std::string valid = write_v1(make_record(19));
+
+  auto bad_magic = read_v1(replace_first(valid, "ACX-V1", "XXX-V1"));
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_EQ(bad_magic.error().byte_offset, 0u);
+  EXPECT_EQ(bad_magic.error().line, 1u);
+
+  // CRLF: offset of the first CR byte.
+  std::string crlf = valid;
+  const auto first_nl = crlf.find('\n');
+  crlf.insert(first_nl, "\r");
+  auto r = read_v1(crlf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ParseError::Code::kCrlfLineEnding);
+  EXPECT_EQ(r.error().byte_offset, first_nl);
+
+  // Malformed cell: offset of the cell, line of the data row.
+  std::string bad_cell = valid;
+  const auto cell_off = data_start(bad_cell) + 97;  // first cell, second row
+  bad_cell.replace(cell_off, 12, "  1.23x4e+00");
+  auto rc = read_v1(bad_cell);
+  ASSERT_FALSE(rc.ok());
+  EXPECT_EQ(rc.error().code, ParseError::Code::kMalformedNumber);
+  EXPECT_EQ(rc.error().byte_offset, cell_off);
+  EXPECT_EQ(rc.error().line, 11u);  // magic + 7 header + DATA + row1 -> row2
+}
+
+}  // namespace
+}  // namespace acx::formats

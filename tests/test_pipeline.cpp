@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "formats/v2.hpp"
+#include "pipeline/runner.hpp"
+#include "pipeline/validate.hpp"
+#include "synth/synth.hpp"
+#include "test_helpers.hpp"
+
+namespace acx::pipeline {
+namespace {
+
+RunnerConfig test_config() {
+  RunnerConfig cfg;
+  cfg.sleep = [](int) {};  // no real backoff sleeps in tests
+  return cfg;
+}
+
+void build_small_event(FileSystem& fs, const std::filesystem::path& dir,
+                       int n_files = 6) {
+  synth::EventSpec spec = synth::paper_events()[0];
+  spec.n_files = n_files;
+  synth::SynthConfig cfg;
+  cfg.scale = 0.02;
+  auto written = synth::build_event_dataset(fs, dir, spec, cfg);
+  ASSERT_TRUE(written.ok()) << written.error().to_string();
+}
+
+TEST(Pipeline, HappyPathProducesAllOutputsAndCleanReport) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_small_event(fs, input);
+
+  auto run = run_pipeline(fs, input, work, test_config());
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  const RunReport& report = run.value();
+
+  EXPECT_EQ(report.records.size(), 6u);
+  EXPECT_EQ(report.count_ok(), 6);
+  EXPECT_EQ(report.count_quarantined(), 0);
+  EXPECT_EQ(report.count_retries(), 0);
+
+  for (const RecordOutcome& r : report.records) {
+    EXPECT_EQ(r.status, RecordOutcome::Status::kOk);
+    auto content = fs.read_file(r.output);
+    ASSERT_TRUE(content.ok());
+    auto v2 = formats::read_v2(content.value());
+    ASSERT_TRUE(v2.ok()) << v2.error().to_string();
+    EXPECT_EQ(v2.value().record.header.units, "cm/s2");
+    EXPECT_EQ(v2.value().processing,
+              (std::vector<std::string>{"demean", "detrend", "write_v2"}));
+    // Demean + detrend really happened: mean is ~0.
+    const auto& s = v2.value().record.samples;
+    const double mean = std::accumulate(s.begin(), s.end(), 0.0) /
+                        static_cast<double>(s.size());
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+  }
+
+  const ValidationSummary audit = validate_workdir(fs, work);
+  EXPECT_TRUE(audit.clean()) << audit.issues.front().kind << ": "
+                             << audit.issues.front().detail;
+  EXPECT_EQ(audit.records_ok, 6);
+}
+
+TEST(Pipeline, ReportRoundTripsThroughJson) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_small_event(fs, input, 3);
+
+  auto run = run_pipeline(fs, input, work, test_config());
+  ASSERT_TRUE(run.ok());
+
+  auto text = fs.read_file(work / kRunReportFileName);
+  ASSERT_TRUE(text.ok());
+  auto parsed = RunReport::from_json_text(text.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const RunReport& back = parsed.value();
+  EXPECT_EQ(back.records.size(), run.value().records.size());
+  EXPECT_EQ(back.count_ok(), run.value().count_ok());
+  for (std::size_t i = 0; i < back.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].record, run.value().records[i].record);
+    EXPECT_EQ(back.records[i].output, run.value().records[i].output);
+    ASSERT_EQ(back.records[i].stages.size(),
+              run.value().records[i].stages.size());
+  }
+}
+
+TEST(Pipeline, EmptyInputDirYieldsEmptyReport) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  ASSERT_TRUE(fs.create_directories(input).ok());
+  auto run = run_pipeline(fs, input, tmp.path() / "work", test_config());
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run.value().records.empty());
+}
+
+TEST(Pipeline, NonV1FilesAreIgnored) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  build_small_event(fs, input, 3);
+  ASSERT_TRUE(fs.write_file(input / "notes.txt", "not a record").ok());
+
+  auto run = run_pipeline(fs, input, tmp.path() / "work", test_config());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().records.size(), 3u);
+}
+
+TEST(Pipeline, FailFastStopsAtFirstPoisonedRecord) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  build_small_event(fs, input, 4);
+
+  // Poison the alphabetically first record.
+  auto listed = fs.list_dir(input);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_TRUE(fs.write_file(listed.value().front(), "garbage\n").ok());
+
+  RunnerConfig cfg = test_config();
+  cfg.keep_going = false;
+  auto run = run_pipeline(fs, input, tmp.path() / "work", cfg);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().records.size(), 1u);
+  EXPECT_EQ(run.value().records[0].status, RecordOutcome::Status::kQuarantined);
+}
+
+TEST(Pipeline, ValidatorFlagsTamperedWorkdir) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_small_event(fs, input, 3);
+  ASSERT_TRUE(run_pipeline(fs, input, work, test_config()).ok());
+
+  // A leftover atomic temp and an unclaimed output must both be caught.
+  ASSERT_TRUE(
+      fs.write_file(work / "out" / ".acx-tmp.SS01l.v2.0", "partial").ok());
+  ASSERT_TRUE(fs.write_file(work / "out" / "rogue.v2", "not claimed").ok());
+
+  const ValidationSummary audit = validate_workdir(fs, work);
+  EXPECT_FALSE(audit.clean());
+  bool saw_partial = false, saw_unexpected = false;
+  for (const auto& issue : audit.issues) {
+    if (issue.kind == "partial_write") saw_partial = true;
+    if (issue.kind == "unexpected_file") saw_unexpected = true;
+  }
+  EXPECT_TRUE(saw_partial);
+  EXPECT_TRUE(saw_unexpected);
+}
+
+TEST(Pipeline, ValidatorFlagsCorruptOutput) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_small_event(fs, input, 3);
+  auto run = run_pipeline(fs, input, work, test_config());
+  ASSERT_TRUE(run.ok());
+
+  // Corrupt one claimed output in place.
+  ASSERT_TRUE(
+      fs.write_file(run.value().records[0].output, "ACX-V2 1\nbroken").ok());
+  const ValidationSummary audit = validate_workdir(fs, work);
+  EXPECT_FALSE(audit.clean());
+  EXPECT_EQ(audit.issues[0].kind, "corrupt_output");
+}
+
+}  // namespace
+}  // namespace acx::pipeline

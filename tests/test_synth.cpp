@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "formats/v1.hpp"
+#include "synth/synth.hpp"
+#include "test_helpers.hpp"
+
+namespace acx::synth {
+namespace {
+
+TEST(Synth, PaperEventsMatchPublishedWorkload) {
+  const auto events = paper_events();
+  ASSERT_EQ(events.size(), 6u);
+  const int files[] = {5, 5, 9, 15, 18, 19};
+  const long points[] = {56000, 115000, 145000, 309000, 361000, 384000};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].n_files, files[i]);
+    EXPECT_EQ(events[i].total_points, points[i]);
+  }
+}
+
+TEST(Synth, PointsPerFileRespectBoundsAndTotal) {
+  const auto events = paper_events();
+  for (const EventSpec& spec : events) {
+    SynthConfig cfg;
+    const auto pts = points_per_file(spec, cfg);
+    ASSERT_EQ(pts.size(), static_cast<std::size_t>(spec.n_files));
+    long total = 0;
+    for (const long p : pts) {
+      EXPECT_GE(p, spec.min_pts);
+      EXPECT_LE(p, spec.max_pts);
+      total += p;
+    }
+    // The clamp can bend the total slightly; it must stay close.
+    EXPECT_NEAR(static_cast<double>(total),
+                static_cast<double>(spec.total_points),
+                0.15 * static_cast<double>(spec.total_points));
+  }
+}
+
+TEST(Synth, RecordsAreDeterministic) {
+  const EventSpec spec = paper_events()[0];
+  SynthConfig cfg;
+  cfg.scale = 0.02;
+  const formats::Record a = make_record(spec, cfg, 2);
+  const formats::Record b = make_record(spec, cfg, 2);
+  EXPECT_EQ(formats::write_v1(a), formats::write_v1(b));
+
+  SynthConfig other = cfg;
+  other.seed = 43;
+  const formats::Record c = make_record(spec, other, 2);
+  EXPECT_NE(formats::write_v1(a), formats::write_v1(c));
+}
+
+TEST(Synth, DatasetRoundTripsThroughStrictReader) {
+  test::TempDir tmp("synth");
+  RealFileSystem fs;
+  const EventSpec spec = paper_events()[2];  // 9 files
+  SynthConfig cfg;
+  cfg.scale = 0.02;  // keep the test fast
+  auto written = build_event_dataset(fs, tmp.path(), spec, cfg);
+  ASSERT_TRUE(written.ok()) << written.error().to_string();
+  ASSERT_EQ(written.value().size(), 9u);
+
+  std::set<std::string> ids;
+  for (const std::string& name : written.value()) {
+    auto content = fs.read_file(tmp.path() / name);
+    ASSERT_TRUE(content.ok());
+    auto rec = formats::read_v1(content.value());
+    ASSERT_TRUE(rec.ok()) << name << ": " << rec.error().to_string();
+    EXPECT_EQ(rec.value().header.event_id, spec.id);
+    EXPECT_EQ(rec.value().header.units, "counts");
+    EXPECT_EQ(static_cast<long>(rec.value().samples.size()),
+              rec.value().header.npts);
+    EXPECT_TRUE(ids.insert(rec.value().header.id()).second)
+        << "duplicate record id " << rec.value().header.id();
+  }
+}
+
+}  // namespace
+}  // namespace acx::synth

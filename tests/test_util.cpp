@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+
+namespace acx {
+namespace {
+
+TEST(Result, HoldsValueOrError) {
+  Result<int, std::string> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(-1), 7);
+
+  Result<int, std::string> err(std::string("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), "boom");
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  // Different seeds diverge immediately (overwhelmingly likely).
+  EXPECT_NE(Xoshiro256(123).next_u64(), c.next_u64());
+  Xoshiro256 d(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Fs, ReadWriteRoundTrip) {
+  test::TempDir tmp("fs");
+  RealFileSystem fs;
+  const auto path = tmp.path() / "a.txt";
+  ASSERT_TRUE(fs.write_file(path, "hello").ok());
+  auto read = fs.read_file(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "hello");
+}
+
+TEST(Fs, ReadMissingFileIsPoison) {
+  test::TempDir tmp("fs");
+  RealFileSystem fs;
+  auto read = fs.read_file(tmp.path() / "nope.txt");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.error().code, IoError::Code::kNotFound);
+  EXPECT_EQ(read.error().klass, ErrorClass::kPoison);
+}
+
+TEST(Fs, AtomicWriteLeavesNoTemporary) {
+  test::TempDir tmp("fs");
+  RealFileSystem fs;
+  const auto path = tmp.path() / "out.v2";
+  ASSERT_TRUE(atomic_write_file(fs, path, "content").ok());
+  auto files = fs.list_dir(tmp.path());
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files.value().size(), 1u);
+  EXPECT_EQ(files.value()[0].filename(), "out.v2");
+  EXPECT_FALSE(is_atomic_tmp_name(files.value()[0]));
+}
+
+TEST(Fs, ListTreeIsRecursiveAndSorted) {
+  test::TempDir tmp("fs");
+  RealFileSystem fs;
+  ASSERT_TRUE(fs.create_directories(tmp.path() / "sub").ok());
+  ASSERT_TRUE(fs.write_file(tmp.path() / "sub" / "b.txt", "b").ok());
+  ASSERT_TRUE(fs.write_file(tmp.path() / "a.txt", "a").ok());
+  auto tree = fs.list_tree(tmp.path());
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree.value().size(), 2u);
+  EXPECT_EQ(tree.value()[0].filename(), "a.txt");
+  EXPECT_EQ(tree.value()[1].filename(), "b.txt");
+}
+
+TEST(Retry, BackoffIsCappedExponential) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 10;
+  p.multiplier = 2.0;
+  p.max_backoff_ms = 50;
+  EXPECT_EQ(p.backoff_ms_for(1), 10);
+  EXPECT_EQ(p.backoff_ms_for(2), 20);
+  EXPECT_EQ(p.backoff_ms_for(3), 40);
+  EXPECT_EQ(p.backoff_ms_for(4), 50);   // capped
+  EXPECT_EQ(p.backoff_ms_for(10), 50);  // stays capped
+}
+
+TEST(Retry, TransientRetriesUntilSuccess) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  int calls = 0;
+  std::vector<int> sleeps;
+  int attempts = 0;
+  auto r = run_with_retry<Unit, IoError>(
+      p, [&](int ms) { sleeps.push_back(ms); },
+      [](const IoError& e) { return e.klass; },
+      [&]() -> Result<Unit, IoError> {
+        if (++calls < 3) {
+          return IoError{IoError::Code::kWriteFailed, ErrorClass::kTransient,
+                         "x", "flaky"};
+        }
+        return Unit{};
+      },
+      &attempts);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(sleeps.size(), 2u);  // slept between attempts only
+}
+
+TEST(Retry, PoisonNeverRetries) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  int calls = 0;
+  auto r = run_with_retry<Unit, IoError>(
+      p, nullptr, [](const IoError& e) { return e.klass; },
+      [&]() -> Result<Unit, IoError> {
+        ++calls;
+        return IoError{IoError::Code::kNotFound, ErrorClass::kPoison, "x", ""};
+      });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retry, TransientGivesUpAfterMaxAttempts) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  int calls = 0;
+  auto r = run_with_retry<Unit, IoError>(
+      p, nullptr, [](const IoError& e) { return e.klass; },
+      [&]() -> Result<Unit, IoError> {
+        ++calls;
+        return IoError{IoError::Code::kWriteFailed, ErrorClass::kTransient, "x",
+                       ""};
+      });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json root = Json::object();
+  root.set("version", 1);
+  root.set("name", "run \"quoted\"\nnewline");
+  root.set("ratio", 0.25);
+  root.set("flag", true);
+  root.set("nothing", nullptr);
+  Json arr = Json::array();
+  arr.push(1).push("two").push(Json::object().set("k", "v"));
+  root.set("items", std::move(arr));
+
+  const std::string text = root.dump(2);
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok());
+  const Json& r = parsed.value();
+  EXPECT_EQ(r.get_number("version"), 1);
+  EXPECT_EQ(r.get_string("name"), "run \"quoted\"\nnewline");
+  EXPECT_EQ(r.get_number("ratio"), 0.25);
+  ASSERT_NE(r.find("items"), nullptr);
+  EXPECT_EQ(r.find("items")->items().size(), 3u);
+  EXPECT_EQ(r.find("items")->items()[2].get_string("k"), "v");
+}
+
+TEST(Json, RejectsGarbage) {
+  EXPECT_FALSE(Json::parse("").ok());
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("{\"a\": }").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("{} trailing").ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+}
+
+}  // namespace
+}  // namespace acx
