@@ -1,0 +1,82 @@
+// Per-kernel cost of the signal substrate at the paper's record sizes
+// (7.3K–35K samples per file) — the numbers behind the per-stage
+// wall-clock rows in run_report.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "signal/baseline.hpp"
+#include "signal/fft.hpp"
+#include "signal/fir.hpp"
+#include "signal/integrate.hpp"
+
+namespace {
+
+std::vector<double> bench_samples(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = std::sin(0.05 * t) + 0.3 * std::sin(0.31 * t) + 0.002 * t + 5.0;
+  }
+  return x;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto spec = acx::signal::rfft(x);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FftBluestein(benchmark::State& state) {
+  // Off-power-of-two length exercises the chirp-z path.
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)) + 1);
+  for (auto _ : state) {
+    auto spec = acx::signal::rfft(x);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FirBandPass(benchmark::State& state) {
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const auto h = acx::signal::design_bandpass({0.5, 25.0, 101}, 0.005);
+  for (auto _ : state) {
+    auto y = acx::signal::filtfilt(h.value(), x);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_CorrectionChain(benchmark::State& state) {
+  // demean -> band-pass -> detrend -> double integration: the numeric
+  // core of the V2 stage chain, minus I/O.
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const auto h = acx::signal::design_bandpass({0.5, 25.0, 101}, 0.005);
+  for (auto _ : state) {
+    std::vector<double> work = x;
+    auto mean = acx::signal::remove_mean(work);
+    auto filtered = acx::signal::filtfilt(h.value(), work);
+    work = std::move(filtered).take();
+    auto trend = acx::signal::detrend_linear(work);
+    auto vel = acx::signal::integrate_trapezoid(work, 0.005);
+    auto disp = acx::signal::integrate_trapezoid(vel.value(), 0.005);
+    benchmark::DoNotOptimize(mean);
+    benchmark::DoNotOptimize(trend);
+    benchmark::DoNotOptimize(disp);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_FftPow2)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_FftBluestein)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_FirBandPass)->Arg(7300)->Arg(35000);
+BENCHMARK(BM_CorrectionChain)->Arg(7300)->Arg(35000);
+
+BENCHMARK_MAIN();

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "formats/v2.hpp"
 #include "pipeline/runner.hpp"
 #include "pipeline/validate.hpp"
 #include "synth/synth.hpp"
@@ -31,14 +32,28 @@ int main() {
                  run.error().to_string().c_str());
     return 1;
   }
-  std::printf("pipeline: %d ok, %d quarantined, %d retries\n",
+  std::printf("pipeline: %d ok, %d quarantined, %d retries in %.3f s\n",
               run.value().count_ok(), run.value().count_quarantined(),
-              run.value().count_retries());
+              run.value().count_retries(), run.value().total_seconds);
   for (const auto& r : run.value().records) {
-    std::printf("  %-8s %s\n", r.record.c_str(),
-                r.status == acx::pipeline::RecordOutcome::Status::kOk
-                    ? r.output.c_str()
-                    : r.reason.c_str());
+    if (r.status != acx::pipeline::RecordOutcome::Status::kOk) {
+      std::printf("  %-8s quarantined: %s\n", r.record.c_str(),
+                  r.reason.c_str());
+      continue;
+    }
+    auto content = fs.read_file(r.output);
+    auto v2 = content.ok() ? acx::formats::read_v2(content.value())
+                           : acx::Result<acx::formats::V2Record,
+                                         acx::formats::ParseError>(
+                                 acx::formats::ParseError{});
+    if (!v2.ok() || !v2.value().peaks.present) {
+      std::printf("  %-8s %s\n", r.record.c_str(), r.output.c_str());
+      continue;
+    }
+    const auto& p = v2.value().peaks;
+    std::printf(
+        "  %-8s PGA %9.2e cm/s2  PGV %9.2e cm/s  PGD %9.2e cm\n",
+        r.record.c_str(), p.pga.value, p.pgv.value, p.pgd.value);
   }
 
   const auto audit = acx::pipeline::validate_workdir(fs, work);

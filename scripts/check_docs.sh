@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Docs-rot check: every repo path referenced in backticks from docs/*.md
+# must exist, every `acx_*` tool named there must have a source file,
+# and the run-report keys documented in docs/PIPELINE.md must still be
+# emitted by the report writer. Run from the repo root (CI and ctest
+# both do). Exits nonzero on the first class of rot found.
+set -u
+
+fail=0
+
+# 1. Backtick-quoted repo paths must exist.
+for doc in docs/*.md; do
+  refs=$(grep -o '`[^`]*`' "$doc" | tr -d '`' | sort -u)
+  while IFS= read -r ref; do
+    [ -z "$ref" ] && continue
+    # Spans with spaces/wildcards are prose or globs, not paths.
+    case "$ref" in *' '*|*'*'*|*'<'*) continue ;; esac
+    case "$ref" in
+      src/*|docs/*|tests/*|bench/*|tools/*|scripts/*|examples/*|.github/*) ;;
+      README.md|ROADMAP.md|DESIGN.md|CHANGES.md|PAPER.md) ;;
+      *) continue ;;
+    esac
+    if [ ! -e "$ref" ]; then
+      echo "docs-rot: $doc references missing path: $ref" >&2
+      fail=1
+    fi
+  done <<<"$refs"
+done
+
+# 2. Tools named in the docs must have sources.
+for doc in docs/*.md; do
+  while IFS= read -r tool; do
+    [ -z "$tool" ] && continue
+    if [ ! -f "tools/$tool.cpp" ]; then
+      echo "docs-rot: $doc names tool '$tool' but tools/$tool.cpp is gone" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\bacx_[a-z_]+\b' "$doc" | sort -u)
+done
+
+# 3. The report schema keys documented in docs/PIPELINE.md must still
+#    exist in the writer (catches a schema rename that forgets the doc).
+for key in version total_seconds stage_totals counts records seconds; do
+  if ! grep -q "\"$key\"" src/pipeline/report.cpp; then
+    echo "docs-rot: docs/PIPELINE.md documents run-report key '$key'" \
+         "but src/pipeline/report.cpp no longer emits it" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-rot check FAILED" >&2
+  exit 1
+fi
+echo "docs-rot check OK"

@@ -83,7 +83,24 @@ struct LineReader {
 struct ParsedRecord {
   Record record;
   std::vector<std::string> processing;
+  PeakSet peaks;
+  std::vector<std::string> comments;
 };
+
+// "PGA <value> <time>": two finite numbers, time non-negative.
+bool parse_peak_entry(std::string_view s, PeakEntry& out) {
+  const std::size_t sp = s.find(' ');
+  if (sp == std::string_view::npos) return false;
+  double value = 0, time = 0;
+  if (!parse_full_double(s.substr(0, sp), value) ||
+      !parse_full_double(s.substr(sp + 1), time)) {
+    return false;
+  }
+  if (!std::isfinite(value) || !std::isfinite(time) || time < 0) return false;
+  out.value = value;
+  out.time = time;
+  return true;
+}
 
 constexpr long kMaxNpts = 100'000'000;
 
@@ -133,17 +150,30 @@ Result<ParsedRecord, ParseError> read_record(std::string_view content,
   // Header fields until the DATA marker.
   ParsedRecord out;
   RecordHeader& h = out.record.header;
-  bool seen[8] = {};  // STATION COMPONENT EVENT DATE DT NPTS UNITS PROCESSED
-  enum Field { kStation, kComponent, kEvent, kDate, kDt, kNpts, kUnits, kProcessed };
+  bool seen[11] = {};  // STATION COMPONENT EVENT DATE DT NPTS UNITS PROCESSED
+                       // PGA PGV PGD
+  enum Field {
+    kStation, kComponent, kEvent, kDate, kDt, kNpts, kUnits, kProcessed,
+    kPga, kPgv, kPgd
+  };
   static constexpr const char* kFieldNames[] = {
       "STATION", "COMPONENT", "EVENT", "DATE", "DT", "NPTS", "UNITS",
-      "PROCESSED"};
+      "PROCESSED", "PGA", "PGV", "PGD"};
+  constexpr int kFieldCount = 11;
   bool saw_data_marker = false;
 
   while (lines.next(line)) {
     if (line == "DATA") {
       saw_data_marker = true;
       break;
+    }
+    // Processing-history comments are part of the corrected format
+    // only; V1 stays maximally strict.
+    if (is_v2 && !line.empty() && line[0] == '#') {
+      std::string_view body = line.substr(1);
+      if (!body.empty() && body[0] == ' ') body.remove_prefix(1);
+      out.comments.emplace_back(body);
+      continue;
     }
     const std::size_t sp = line.find(' ');
     const std::string_view key = line.substr(0, sp);
@@ -153,13 +183,13 @@ Result<ParsedRecord, ParseError> read_record(std::string_view content,
     const std::size_t ln = lines.line_no;
 
     int field = -1;
-    for (int f = 0; f < 8; ++f) {
+    for (int f = 0; f < kFieldCount; ++f) {
       if (key == kFieldNames[f]) {
         field = f;
         break;
       }
     }
-    if (field < 0 || (field == kProcessed && !is_v2)) {
+    if (field < 0 || (field >= kProcessed && !is_v2)) {
       return err(Code::kBadHeaderField, off, ln,
                  "unknown header field '" + std::string(key) + "'");
     }
@@ -249,6 +279,21 @@ Result<ParsedRecord, ParseError> read_record(std::string_view content,
         }
         break;
       }
+      case kPga:
+      case kPgv:
+      case kPgd: {
+        PeakEntry& entry = field == kPga   ? out.peaks.pga
+                           : field == kPgv ? out.peaks.pgv
+                                           : out.peaks.pgd;
+        if (!parse_peak_entry(val, entry)) {
+          return err(Code::kBadHeaderField, off, ln,
+                     std::string(kFieldNames[field]) +
+                         " must be '<value> <time>' with finite value and "
+                         "non-negative time; got '" +
+                         std::string(val) + "'");
+        }
+        break;
+      }
     }
   }
 
@@ -263,6 +308,14 @@ Result<ParsedRecord, ParseError> read_record(std::string_view content,
                  std::string("missing header field ") + kFieldNames[f]);
     }
   }
+  // The peak block is optional but all-or-nothing.
+  const int peaks_seen = (seen[kPga] ? 1 : 0) + (seen[kPgv] ? 1 : 0) +
+                         (seen[kPgd] ? 1 : 0);
+  if (peaks_seen != 0 && peaks_seen != 3) {
+    return err(Code::kMissingHeaderField, lines.line_start, lines.line_no,
+               "peak block is partial: PGA, PGV and PGD must appear together");
+  }
+  out.peaks.present = peaks_seen == 3;
 
   // Fixed-column data block.
   out.record.samples.reserve(static_cast<std::size_t>(h.npts));
@@ -337,6 +390,8 @@ Result<ParsedRecord, ParseError> read_record(std::string_view content,
 void write_common(std::string& out, std::string_view magic,
                   const RecordHeader& h,
                   const std::vector<std::string>* processing,
+                  const PeakSet* peaks,
+                  const std::vector<std::string>* comments,
                   const std::vector<double>& samples) {
   out += magic;
   out += " 1\n";
@@ -344,7 +399,7 @@ void write_common(std::string& out, std::string_view magic,
   out += "COMPONENT " + h.component + "\n";
   out += "EVENT " + h.event_id + "\n";
   out += "DATE " + h.date + "\n";
-  char buf[64];
+  char buf[80];
   std::snprintf(buf, sizeof buf, "DT %.6e\n", h.dt);
   out += buf;
   out += "NPTS " + std::to_string(h.npts) + "\n";
@@ -356,6 +411,25 @@ void write_common(std::string& out, std::string_view magic,
       out += (*processing)[i];
     }
     out += '\n';
+  }
+  if (peaks && peaks->present) {
+    // %.9e survives the docs/SIGNAL.md 1e-6 relative contract.
+    std::snprintf(buf, sizeof buf, "PGA %.9e %.9e\n", peaks->pga.value,
+                  peaks->pga.time);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "PGV %.9e %.9e\n", peaks->pgv.value,
+                  peaks->pgv.time);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "PGD %.9e %.9e\n", peaks->pgd.value,
+                  peaks->pgd.time);
+    out += buf;
+  }
+  if (comments) {
+    for (const std::string& c : *comments) {
+      out += "# ";
+      out += c;
+      out += '\n';
+    }
   }
   out += "DATA\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
@@ -376,7 +450,8 @@ Result<Record, ParseError> read_v1(std::string_view content) {
 
 std::string write_v1(const Record& record) {
   std::string out;
-  write_common(out, kV1Magic, record.header, nullptr, record.samples);
+  write_common(out, kV1Magic, record.header, nullptr, nullptr, nullptr,
+               record.samples);
   return out;
 }
 
@@ -384,13 +459,14 @@ Result<V2Record, ParseError> read_v2(std::string_view content) {
   auto parsed = read_record(content, kV2Magic, /*is_v2=*/true);
   if (!parsed.ok()) return std::move(parsed).take_error();
   ParsedRecord p = std::move(parsed).take();
-  return V2Record{std::move(p.record), std::move(p.processing)};
+  return V2Record{std::move(p.record), std::move(p.processing), p.peaks,
+                  std::move(p.comments)};
 }
 
 std::string write_v2(const V2Record& record) {
   std::string out;
   write_common(out, kV2Magic, record.record.header, &record.processing,
-               record.record.samples);
+               &record.peaks, &record.comments, record.record.samples);
   return out;
 }
 

@@ -13,11 +13,31 @@ namespace acx::formats {
 inline constexpr std::string_view kV2Magic = "ACX-V2";
 inline constexpr std::string_view kV2Extension = ".v2";
 
+// One peak header entry: signed value at the absolute maximum, and the
+// time (seconds from the first sample) at which it occurs.
+struct PeakEntry {
+  double value = 0.0;
+  double time = 0.0;
+};
+
+// The V2 peak block: PGA (cm/s2), PGV (cm/s), PGD (cm). The block is
+// all-or-nothing — a V2 file carries either all three header lines or
+// none (the strict reader rejects a partial set). Pipeline outputs
+// always carry it; acx_validate enforces that.
+struct PeakSet {
+  bool present = false;
+  PeakEntry pga, pgv, pgd;
+};
+
 // Corrected record: V1 payload plus the ordered list of processing
-// stages that produced it. Units must be "cm/s2".
+// stages that produced it, the peak block, and free-form
+// processing-history comment lines ('# ...' in the header section,
+// stored without the leading "# "). Units must be "cm/s2".
 struct V2Record {
   Record record;
   std::vector<std::string> processing;  // e.g. {"demean", "detrend"}
+  PeakSet peaks;
+  std::vector<std::string> comments;
 };
 
 Result<V2Record, ParseError> read_v2(std::string_view content);

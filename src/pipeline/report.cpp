@@ -1,5 +1,7 @@
 #include "pipeline/report.hpp"
 
+#include <cmath>
+
 namespace acx::pipeline {
 
 int RunReport::count_ok() const {
@@ -20,11 +22,26 @@ int RunReport::count_retries() const {
   return n;
 }
 
+std::map<std::string, double> RunReport::stage_totals() const {
+  std::map<std::string, double> totals;
+  for (const auto& r : records) {
+    for (const auto& s : r.stages) totals[s.stage] += s.seconds;
+  }
+  return totals;
+}
+
 Json RunReport::to_json() const {
   Json root = Json::object();
   root.set("version", kVersion);
   root.set("input_dir", input_dir);
   root.set("work_dir", work_dir);
+  root.set("total_seconds", total_seconds);
+
+  Json totals = Json::object();
+  for (const auto& [stage, seconds] : stage_totals()) {
+    totals.set(stage, seconds);
+  }
+  root.set("stage_totals", std::move(totals));
 
   Json counts = Json::object();
   counts.set("input", static_cast<int>(records.size()));
@@ -47,6 +64,7 @@ Json RunReport::to_json() const {
       jr.set("quarantine", r.quarantine);
     }
     jr.set("retries", r.retries);
+    jr.set("seconds", r.seconds);
     Json stages = Json::array();
     for (const auto& s : r.stages) {
       Json js = Json::object();
@@ -54,6 +72,7 @@ Json RunReport::to_json() const {
       js.set("attempts", s.attempts);
       js.set("ok", s.ok);
       if (!s.error.empty()) js.set("error", s.error);
+      js.set("seconds", s.seconds);
       stages.push(std::move(js));
     }
     jr.set("stages", std::move(stages));
@@ -80,6 +99,10 @@ Result<RunReport, std::string> RunReport::from_json_text(
   RunReport report;
   report.input_dir = root.get_string("input_dir");
   report.work_dir = root.get_string("work_dir");
+  report.total_seconds = root.get_number("total_seconds", 0);
+  if (report.total_seconds < 0) {
+    return std::string("run report total_seconds is negative");
+  }
 
   const Json* recs = root.find("records");
   if (!recs || !recs->is_array()) {
@@ -102,6 +125,7 @@ Result<RunReport, std::string> RunReport::from_json_text(
     r.reason = jr.get_string("reason");
     r.quarantine = jr.get_string("quarantine");
     r.retries = static_cast<int>(jr.get_number("retries", 0));
+    r.seconds = jr.get_number("seconds", 0);
     if (const Json* stages = jr.find("stages"); stages && stages->is_array()) {
       for (const Json& js : stages->items()) {
         StageAttempt s;
@@ -110,6 +134,11 @@ Result<RunReport, std::string> RunReport::from_json_text(
         const Json* ok = js.find("ok");
         s.ok = ok && ok->is_bool() && ok->boolean();
         s.error = js.get_string("error");
+        s.seconds = js.get_number("seconds", 0);
+        if (s.seconds < 0) {
+          return "record '" + r.record + "' stage '" + s.stage +
+                 "' has negative seconds";
+        }
         r.stages.push_back(std::move(s));
       }
     }
@@ -128,6 +157,25 @@ Result<RunReport, std::string> RunReport::from_json_text(
     }
   } else {
     return std::string("run report has no counts block");
+  }
+
+  // The stage_totals block must agree with the per-stage seconds in the
+  // records array (within float-formatting slack).
+  const Json* totals = root.find("stage_totals");
+  if (!totals || !totals->is_object()) {
+    return std::string("run report has no stage_totals block");
+  }
+  const auto computed = report.stage_totals();
+  for (const auto& [stage, seconds] : computed) {
+    const Json* entry = totals->find(stage);
+    if (!entry || !entry->is_number() ||
+        std::fabs(entry->number() - seconds) > 1e-6 + 1e-6 * seconds) {
+      return "stage_totals entry for '" + stage +
+             "' disagrees with the records array";
+    }
+  }
+  if (totals->fields().size() != computed.size()) {
+    return std::string("stage_totals names a stage the records array lacks");
   }
   return report;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -13,7 +14,8 @@ struct StageAttempt {
   std::string stage;
   int attempts = 1;  // total invocations (1 = no retry)
   bool ok = false;
-  std::string error;  // reason slug of the final failure, empty when ok
+  std::string error;   // reason slug of the final failure, empty when ok
+  double seconds = 0;  // wall clock across all attempts of this stage
 };
 
 struct RecordOutcome {
@@ -26,22 +28,26 @@ struct RecordOutcome {
   std::string reason;      // quarantine reason slug (quarantined records)
   std::string quarantine;  // quarantine file path
   std::vector<StageAttempt> stages;
-  int retries = 0;  // extra attempts beyond the first, summed over stages
+  int retries = 0;     // extra attempts beyond the first, summed over stages
+  double seconds = 0;  // wall clock of this record, summed over stages
 };
 
 // The machine-readable outcome of one event run, written atomically to
-// <work_dir>/run_report.json. Schema documented in README "Robustness
-// model".
+// <work_dir>/run_report.json. Schema documented in docs/PIPELINE.md.
 struct RunReport {
-  static constexpr int kVersion = 1;
+  static constexpr int kVersion = 2;
 
   std::string input_dir;
   std::string work_dir;
+  double total_seconds = 0;  // wall clock of the whole event run
   std::vector<RecordOutcome> records;
 
   int count_ok() const;
   int count_quarantined() const;
   int count_retries() const;
+  // Wall clock summed per stage name over every record — the numbers
+  // the Table I per-stage benches are driven from.
+  std::map<std::string, double> stage_totals() const;
 
   Json to_json() const;
   std::string dump() const { return to_json().dump(2); }

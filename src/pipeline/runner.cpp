@@ -44,18 +44,23 @@ bool StageRunner::run_step(
     const std::string& name, RecordOutcome& outcome, StageError& failure,
     const std::function<Result<Unit, StageError>()>& fn) {
   int attempts = 0;
+  const auto started = std::chrono::steady_clock::now();
   auto r = run_with_retry<Unit, StageError>(
       cfg_.retry, cfg_.sleep,
       [](const StageError& e) { return e.klass; }, fn, &attempts);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
   StageAttempt attempt;
   attempt.stage = name;
   attempt.attempts = attempts;
   attempt.ok = r.ok();
+  attempt.seconds = elapsed.count();
   if (!r.ok()) {
     failure = r.error();
     attempt.error = failure.reason;
   }
   outcome.retries += attempts - 1;
+  outcome.seconds += attempt.seconds;
   outcome.stages.push_back(std::move(attempt));
   return r.ok();
 }
@@ -134,6 +139,7 @@ RecordOutcome StageRunner::process_record(
 
 Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
                                                   const stdfs::path& work_dir) {
+  const auto run_started = std::chrono::steady_clock::now();
   RunReport report;
   report.input_dir = input_dir.string();
   report.work_dir = work_dir.string();
@@ -148,7 +154,7 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
   auto listed = fs_.list_dir(input_dir);
   if (!listed.ok()) return std::move(listed).take_error();
 
-  auto stages = default_stages();
+  auto stages = default_stages(cfg_.correction);
   for (const stdfs::path& path : listed.value()) {
     if (path.extension() != formats::kV1Extension) continue;
     report.records.push_back(process_record(path, work_dir, stages));
@@ -159,6 +165,10 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
   }
 
   (void)fs_.remove_all(work_dir / "scratch");
+
+  const std::chrono::duration<double> run_elapsed =
+      std::chrono::steady_clock::now() - run_started;
+  report.total_seconds = run_elapsed.count();
 
   auto wrote = run_with_retry<Unit, IoError>(
       cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },

@@ -26,6 +26,8 @@ struct RunnerConfig {
   // Backoff sleep; defaults to a real sleep, tests inject a no-op.
   SleepFn sleep;
   StageFault stage_fault;
+  // Band corners / FIR length / gain of the V2 correction chain.
+  CorrectionConfig correction;
   // keep_going=true is the production mode: quarantine poisoned records
   // and continue the event run with the survivors. false stops at the
   // first quarantined record (still writing the report).

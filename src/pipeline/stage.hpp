@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "formats/record.hpp"
+#include "formats/v2.hpp"
+#include "signal/timeseries.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/result.hpp"
@@ -17,9 +19,25 @@ namespace acx::pipeline {
 // becomes the quarantine suffix and the report entry.
 struct StageError {
   ErrorClass klass = ErrorClass::kPoison;
-  std::string reason;  // e.g. "parse.bad_magic", "io.write_failed"
+  std::string reason;  // e.g. "parse.bad_magic", "signal.too_short"
   std::string detail;
 };
+
+// Correction parameters of the V2 chain. The corners stand in for the
+// paper's per-record FPL/FSL search (which needs the spectrum
+// substrate); taps is the design length, shortened per record to
+// min(taps, largest odd <= n/3) and never below kMinCorrectionTaps
+// (shorter records are signal.too_short poison). See docs/SIGNAL.md.
+struct CorrectionConfig {
+  double low_hz = 0.5;    // long-period corner (paper: from FSL)
+  double high_hz = 25.0;  // short-period corner (paper: from FPL)
+  int taps = 101;
+  // Nominal instrument gain for counts -> cm/s2; replaced by
+  // per-station calibration when station metadata lands.
+  double counts_to_cms2 = 1.0 / 1000.0;
+};
+
+inline constexpr int kMinCorrectionTaps = 21;
 
 // Per-record working state threaded through the stages. Each record is
 // processed inside its own scratch directory (the paper's temp-folder
@@ -32,8 +50,12 @@ struct RecordContext {
   std::string record_id;  // "<station><component>", e.g. "SS01l"
 
   std::string raw;                       // staged-in bytes
-  formats::Record record;                // parsed V1, then corrected
+  formats::Record record;                // parsed V1; corrected acc (cm/s2)
+  std::vector<double> velocity;          // cm/s, from the integrate stage
+  std::vector<double> displacement;      // cm, from the integrate stage
+  formats::PeakSet peaks;                // PGA/PGV/PGD, from the peaks stage
   std::vector<std::string> processing;   // stages applied so far
+  std::vector<std::string> history;      // V2 '#' comment lines
   std::filesystem::path output_path;     // set by the write stage
 };
 
@@ -46,8 +68,11 @@ class Stage {
   virtual Result<Unit, StageError> run(RecordContext& ctx) = 0;
 };
 
-// The PR-1 minimal chain: stage_in -> parse -> demean -> detrend ->
-// write_v2. Later PRs extend this toward the paper's full P#0–P#19.
-std::vector<std::unique_ptr<Stage>> default_stages();
+// The V2 correction chain: stage_in -> parse -> calibrate -> demean ->
+// bandpass -> detrend -> integrate -> peaks -> write_v2. Later PRs
+// extend this toward the paper's full P#0–P#19 (F/R spectra, plots,
+// GEM). Stage-to-paper mapping: docs/PIPELINE.md.
+std::vector<std::unique_ptr<Stage>> default_stages(
+    const CorrectionConfig& correction = {});
 
 }  // namespace acx::pipeline

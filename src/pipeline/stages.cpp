@@ -1,9 +1,16 @@
+#include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <cstdio>
+#include <utility>
 
 #include "formats/v1.hpp"
 #include "formats/v2.hpp"
 #include "pipeline/stage.hpp"
+#include "signal/baseline.hpp"
+#include "signal/fir.hpp"
+#include "signal/integrate.hpp"
+#include "signal/peaks.hpp"
+#include "signal/timeseries.hpp"
 
 namespace acx::pipeline {
 
@@ -11,6 +18,14 @@ namespace {
 
 StageError from_io(const IoError& e) {
   return StageError{e.klass, std::string("io.") + slug(e.code), e.to_string()};
+}
+
+// Numerical failures are deterministic for the record's data, so every
+// SignalError is poison with a "signal.<slug>" quarantine reason.
+StageError from_signal(const signal::SignalError& e) {
+  return StageError{ErrorClass::kPoison,
+                    std::string("signal.") + signal::slug(e.code),
+                    e.to_string()};
 }
 
 // Stage-in: copy the input V1 into the record's private scratch dir and
@@ -47,22 +62,87 @@ class ParseStage final : public Stage {
   }
 };
 
+// Calibrate: entry gate of the numerical chain. Validates the series
+// (finite samples, positive dt) and converts counts to physical
+// acceleration (cm/s2).
+class CalibrateStage final : public Stage {
+ public:
+  explicit CalibrateStage(const CorrectionConfig& cfg) : cfg_(cfg) {}
+  const char* name() const override { return "calibrate"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    signal::TimeSeries probe{ctx.record.header.dt, signal::Units::kCounts,
+                             {}};
+    probe.samples = ctx.record.samples;  // validated, then discarded
+    auto valid = signal::validate(probe);
+    if (!valid.ok()) return from_signal(valid.error());
+
+    if (ctx.record.header.units == "counts") {
+      for (double& s : ctx.record.samples) s *= cfg_.counts_to_cms2;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "calibrate: counts -> cm/s2 (gain %.3e)",
+                    cfg_.counts_to_cms2);
+      ctx.history.push_back(buf);
+    }
+    ctx.record.header.units = "cm/s2";
+    ctx.processing.push_back("calibrate");
+    return Unit{};
+  }
+
+ private:
+  CorrectionConfig cfg_;
+};
+
 // Demean: remove the DC offset (the paper's baseline step one).
 class DemeanStage final : public Stage {
  public:
   const char* name() const override { return "demean"; }
   Result<Unit, StageError> run(RecordContext& ctx) override {
-    auto& s = ctx.record.samples;
-    if (s.empty()) {
-      return StageError{ErrorClass::kPoison, "demean.empty_record",
-                        "no samples after parse"};
-    }
-    const double mean =
-        std::accumulate(s.begin(), s.end(), 0.0) / static_cast<double>(s.size());
-    for (double& v : s) v -= mean;
+    // Idempotence under retry: work on a copy, commit on success.
+    std::vector<double> samples = ctx.record.samples;
+    auto mean = signal::remove_mean(samples);
+    if (!mean.ok()) return from_signal(mean.error());
+    ctx.record.samples = std::move(samples);
     ctx.processing.push_back("demean");
     return Unit{};
   }
+};
+
+// Band-pass: zero-phase windowed-sinc FIR inside the instrument band.
+// The design length adapts to short records (min(taps, odd(n/3))); a
+// record too short for even kMinCorrectionTaps is poison.
+class BandPassStage final : public Stage {
+ public:
+  explicit BandPassStage(const CorrectionConfig& cfg) : cfg_(cfg) {}
+  const char* name() const override { return "bandpass"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    const std::size_t n = ctx.record.samples.size();
+    int taps = static_cast<int>(n / 3);
+    if (taps % 2 == 0) --taps;
+    taps = std::min(taps, cfg_.taps);
+    if (taps < kMinCorrectionTaps) {
+      return from_signal(signal::SignalError{
+          signal::SignalError::Code::kTooShort,
+          "record has " + std::to_string(n) + " samples; band-pass needs >= " +
+              std::to_string(3 * kMinCorrectionTaps)});
+    }
+    signal::BandPassSpec spec{cfg_.low_hz, cfg_.high_hz, taps};
+    auto h = signal::design_bandpass(spec, ctx.record.header.dt);
+    if (!h.ok()) return from_signal(h.error());
+    auto filtered = signal::filtfilt(h.value(), ctx.record.samples);
+    if (!filtered.ok()) return from_signal(filtered.error());
+    ctx.record.samples = std::move(filtered).take();
+
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "bandpass: fir %.2f-%.2f Hz, %d taps, hamming, zero-phase",
+                  cfg_.low_hz, cfg_.high_hz, taps);
+    ctx.history.push_back(buf);
+    ctx.processing.push_back("bandpass");
+    return Unit{};
+  }
+
+ private:
+  CorrectionConfig cfg_;
 };
 
 // Detrend: least-squares linear detrend (instrument drift removal).
@@ -70,34 +150,61 @@ class DetrendStage final : public Stage {
  public:
   const char* name() const override { return "detrend"; }
   Result<Unit, StageError> run(RecordContext& ctx) override {
-    auto& s = ctx.record.samples;
-    const std::size_t n = s.size();
-    if (n < 2) {
-      return StageError{ErrorClass::kPoison, "detrend.too_short",
-                        "need at least 2 samples"};
-    }
-    // x = 0..n-1; slope = cov(x, y) / var(x), both around their means.
-    const double xm = static_cast<double>(n - 1) / 2.0;
-    double sxy = 0.0, sxx = 0.0, ym = 0.0;
-    for (std::size_t i = 0; i < n; ++i) ym += s[i];
-    ym /= static_cast<double>(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double dx = static_cast<double>(i) - xm;
-      sxy += dx * (s[i] - ym);
-      sxx += dx * dx;
-    }
-    const double slope = sxx > 0 ? sxy / sxx : 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      s[i] -= ym + slope * (static_cast<double>(i) - xm);
-    }
+    std::vector<double> samples = ctx.record.samples;
+    auto trend = signal::detrend_linear(samples);
+    if (!trend.ok()) return from_signal(trend.error());
+    ctx.record.samples = std::move(samples);
     ctx.processing.push_back("detrend");
     return Unit{};
   }
 };
 
-// Write: counts -> cm/s2, emit the V2 into scratch, then stage it out
-// into out/ — both through the atomic-write helper, so a crash or an
-// injected fault can never leave a partial output visible.
+// Integrate: corrected acceleration -> velocity -> displacement
+// (cm/s2 -> cm/s -> cm), trapezoidal rule, zero initial conditions.
+class IntegrateStage final : public Stage {
+ public:
+  const char* name() const override { return "integrate"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    signal::TimeSeries acc{ctx.record.header.dt, signal::Units::kCmPerS2, {}};
+    acc.samples = ctx.record.samples;
+    auto vel = signal::integrate(acc);
+    if (!vel.ok()) return from_signal(vel.error());
+    auto disp = signal::integrate(vel.value());
+    if (!disp.ok()) return from_signal(disp.error());
+    ctx.velocity = std::move(vel.value().samples);
+    ctx.displacement = std::move(disp.value().samples);
+    ctx.history.push_back(
+        "integrate: trapezoid, cm/s2 -> cm/s -> cm, v0 = d0 = 0");
+    ctx.processing.push_back("integrate");
+    return Unit{};
+  }
+};
+
+// Peaks: PGA/PGV/PGD with sample index and time, from the corrected
+// acceleration and the integrated series.
+class PeaksStage final : public Stage {
+ public:
+  const char* name() const override { return "peaks"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    const double dt = ctx.record.header.dt;
+    auto pga = signal::extract_peak(ctx.record.samples, dt);
+    if (!pga.ok()) return from_signal(pga.error());
+    auto pgv = signal::extract_peak(ctx.velocity, dt);
+    if (!pgv.ok()) return from_signal(pgv.error());
+    auto pgd = signal::extract_peak(ctx.displacement, dt);
+    if (!pgd.ok()) return from_signal(pgd.error());
+    ctx.peaks.present = true;
+    ctx.peaks.pga = {pga.value().value, pga.value().time};
+    ctx.peaks.pgv = {pgv.value().value, pgv.value().time};
+    ctx.peaks.pgd = {pgd.value().value, pgd.value().time};
+    ctx.processing.push_back("peaks");
+    return Unit{};
+  }
+};
+
+// Write: emit the V2 into scratch, then stage it out into out/ — both
+// through the atomic-write helper, so a crash or an injected fault can
+// never leave a partial output visible.
 class WriteV2Stage final : public Stage {
  public:
   const char* name() const override { return "write_v2"; }
@@ -106,13 +213,8 @@ class WriteV2Stage final : public Stage {
     v2.record = ctx.record;
     v2.processing = ctx.processing;
     v2.processing.push_back("write_v2");
-    if (v2.record.header.units == "counts") {
-      // Nominal instrument gain; replaced by per-station calibration
-      // when the real P#1 lands.
-      constexpr double kCountsToCms2 = 1.0 / 1000.0;
-      for (double& s : v2.record.samples) s *= kCountsToCms2;
-    }
-    v2.record.header.units = "cm/s2";
+    v2.peaks = ctx.peaks;
+    v2.comments = ctx.history;
 
     const std::string name =
         ctx.record_id + std::string(formats::kV2Extension);
@@ -128,12 +230,17 @@ class WriteV2Stage final : public Stage {
 
 }  // namespace
 
-std::vector<std::unique_ptr<Stage>> default_stages() {
+std::vector<std::unique_ptr<Stage>> default_stages(
+    const CorrectionConfig& correction) {
   std::vector<std::unique_ptr<Stage>> stages;
   stages.push_back(std::make_unique<StageIn>());
   stages.push_back(std::make_unique<ParseStage>());
+  stages.push_back(std::make_unique<CalibrateStage>(correction));
   stages.push_back(std::make_unique<DemeanStage>());
+  stages.push_back(std::make_unique<BandPassStage>(correction));
   stages.push_back(std::make_unique<DetrendStage>());
+  stages.push_back(std::make_unique<IntegrateStage>());
+  stages.push_back(std::make_unique<PeaksStage>());
   stages.push_back(std::make_unique<WriteV2Stage>());
   return stages;
 }

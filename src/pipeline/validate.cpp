@@ -1,5 +1,6 @@
 #include "pipeline/validate.hpp"
 
+#include <cmath>
 #include <set>
 
 #include "formats/v2.hpp"
@@ -92,6 +93,43 @@ ValidationSummary validate_workdir(FileSystem& fs,
         add_issue(summary, "mismatched_output",
                   "record " + r.record + ": output header says '" +
                       v2.value().record.header.id() + "'");
+      }
+      // A claimed V2 must carry usable science: finite samples and a
+      // complete, finite peak block. The strict reader already rejects
+      // non-finite data cells; this re-check keeps the audit honest
+      // even if the reader's guarantees ever loosen.
+      const formats::V2Record& out_rec = v2.value();
+      bool all_finite = !out_rec.record.samples.empty();
+      for (const double s : out_rec.record.samples) {
+        if (!std::isfinite(s)) {
+          all_finite = false;
+          break;
+        }
+      }
+      if (!all_finite) {
+        add_issue(summary, "nonfinite_output",
+                  "record " + r.record +
+                      ": output has empty or non-finite samples");
+      }
+      if (!out_rec.peaks.present) {
+        add_issue(summary, "missing_peaks",
+                  "record " + r.record + ": output lacks PGA/PGV/PGD headers");
+      } else {
+        const double t_max =
+            static_cast<double>(out_rec.record.samples.size()) *
+            out_rec.record.header.dt;
+        auto check_peak = [&](const char* label,
+                              const formats::PeakEntry& entry) {
+          if (!std::isfinite(entry.value) || !std::isfinite(entry.time) ||
+              entry.time < 0 || entry.time > t_max) {
+            add_issue(summary, "bad_peaks",
+                      "record " + r.record + ": " + std::string(label) +
+                          " is non-finite or out of the record's time range");
+          }
+        };
+        check_peak("PGA", out_rec.peaks.pga);
+        check_peak("PGV", out_rec.peaks.pgv);
+        check_peak("PGD", out_rec.peaks.pgd);
       }
     } else {
       ++summary.records_quarantined;

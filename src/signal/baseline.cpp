@@ -1,0 +1,135 @@
+#include "signal/baseline.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace acx::signal {
+
+namespace {
+
+Result<double, SignalError> finite_mean(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (const double v : x) sum += v;
+  const double mean = sum / static_cast<double>(x.size());
+  if (!std::isfinite(mean)) {
+    return SignalError{SignalError::Code::kNonFinite,
+                       "mean is not finite (overflow or non-finite input)"};
+  }
+  return mean;
+}
+
+}  // namespace
+
+Result<double, SignalError> remove_mean(std::vector<double>& x) {
+  if (x.empty()) {
+    return SignalError{SignalError::Code::kEmptyInput, "no samples to demean"};
+  }
+  auto mean = finite_mean(x);
+  if (!mean.ok()) return std::move(mean).take_error();
+  for (double& v : x) v -= mean.value();
+  return mean.value();
+}
+
+Result<LinearTrend, SignalError> detrend_linear(std::vector<double>& x) {
+  const std::size_t n = x.size();
+  if (n < 2) {
+    return SignalError{SignalError::Code::kTooShort,
+                       "linear detrend needs at least 2 samples"};
+  }
+  auto mean = finite_mean(x);
+  if (!mean.ok()) return std::move(mean).take_error();
+
+  // slope = cov(i, x) / var(i) around the index midpoint xm.
+  const double xm = static_cast<double>(n - 1) / 2.0;
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - xm;
+    sxy += dx * (x[i] - mean.value());
+    sxx += dx * dx;
+  }
+  LinearTrend trend;
+  trend.intercept = mean.value();
+  trend.slope = sxx > 0 ? sxy / sxx : 0.0;
+  if (!std::isfinite(trend.slope)) {
+    return SignalError{SignalError::Code::kNonFinite, "trend slope overflowed"};
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] -= trend.intercept + trend.slope * (static_cast<double>(i) - xm);
+  }
+  return trend;
+}
+
+Result<std::vector<double>, SignalError> detrend_polynomial(
+    std::vector<double>& x, int degree) {
+  if (degree < 0 || degree > kMaxDetrendDegree) {
+    return SignalError{SignalError::Code::kBadDegree,
+                       "degree must be in [0, " +
+                           std::to_string(kMaxDetrendDegree) + "]; got " +
+                           std::to_string(degree)};
+  }
+  const std::size_t n = x.size();
+  const std::size_t terms = static_cast<std::size_t>(degree) + 1;
+  if (n < terms) {
+    return SignalError{SignalError::Code::kTooShort,
+                       "degree-" + std::to_string(degree) +
+                           " detrend needs at least " + std::to_string(terms) +
+                           " samples"};
+  }
+
+  // Normal equations G c = r over u in [-1, 1]:
+  // G[a][b] = sum_i u_i^(a+b), r[a] = sum_i x_i u_i^a.
+  std::vector<double> moments(2 * terms - 1, 0.0);
+  std::vector<double> r(terms, 0.0);
+  const double scale = n > 1 ? 2.0 / static_cast<double>(n - 1) : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(i) * scale - 1.0;
+    double p = 1.0;
+    for (std::size_t a = 0; a < moments.size(); ++a) {
+      moments[a] += p;
+      if (a < terms) r[a] += x[i] * p;
+      p *= u;
+    }
+  }
+  std::vector<std::vector<double>> g(terms, std::vector<double>(terms));
+  for (std::size_t a = 0; a < terms; ++a) {
+    for (std::size_t b = 0; b < terms; ++b) g[a][b] = moments[a + b];
+  }
+
+  // Gaussian elimination with partial pivoting on the (tiny) system.
+  std::vector<double> c = r;
+  for (std::size_t col = 0; col < terms; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < terms; ++row) {
+      if (std::fabs(g[row][col]) > std::fabs(g[pivot][col])) pivot = row;
+    }
+    std::swap(g[col], g[pivot]);
+    std::swap(c[col], c[pivot]);
+    if (g[col][col] == 0.0) {
+      return SignalError{SignalError::Code::kBadDegree,
+                         "normal equations are singular"};
+    }
+    for (std::size_t row = col + 1; row < terms; ++row) {
+      const double f = g[row][col] / g[col][col];
+      for (std::size_t k = col; k < terms; ++k) g[row][k] -= f * g[col][k];
+      c[row] -= f * c[col];
+    }
+  }
+  for (std::size_t col = terms; col-- > 0;) {
+    for (std::size_t k = col + 1; k < terms; ++k) c[col] -= g[col][k] * c[k];
+    c[col] /= g[col][col];
+    if (!std::isfinite(c[col])) {
+      return SignalError{SignalError::Code::kNonFinite,
+                         "polynomial coefficient overflowed"};
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(i) * scale - 1.0;
+    double fit = 0.0;
+    for (std::size_t a = terms; a-- > 0;) fit = fit * u + c[a];
+    x[i] -= fit;
+  }
+  return c;
+}
+
+}  // namespace acx::signal

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "signal/error.hpp"
+#include "util/result.hpp"
+
+namespace acx::signal {
+
+// Baseline correction kernels. All operate in place and return the
+// removed model so callers can log it. Exact (to round-off) on inputs
+// that are themselves polynomials of the fitted degree.
+
+// Subtracts the arithmetic mean; returns the mean removed.
+Result<double, SignalError> remove_mean(std::vector<double>& x);
+
+// Least-squares line over sample index i = 0..n-1, parameterized
+// around the index midpoint: value_i = intercept + slope*(i - (n-1)/2).
+struct LinearTrend {
+  double intercept = 0.0;  // value at the midpoint (== mean of x)
+  double slope = 0.0;      // per-sample slope
+};
+Result<LinearTrend, SignalError> detrend_linear(std::vector<double>& x);
+
+inline constexpr int kMaxDetrendDegree = 8;
+
+// Least-squares polynomial of the given degree (0..kMaxDetrendDegree)
+// over the normalized abscissa u_i = 2i/(n-1) - 1 in [-1, 1] (which
+// keeps the normal equations well conditioned). Returns the removed
+// coefficients c[0..degree], value_i = sum_j c[j] * u_i^j.
+Result<std::vector<double>, SignalError> detrend_polynomial(
+    std::vector<double>& x, int degree);
+
+}  // namespace acx::signal

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+namespace acx::signal {
+
+// Numerical failure taxonomy of the signal kernels. Every kernel
+// returns Result<_, SignalError>; the pipeline maps each code to the
+// poison reason "signal.<slug>" (see docs/SIGNAL.md, "Error taxonomy").
+// All signal errors are deterministic for a given input, so they are
+// always poison — never retried.
+struct SignalError {
+  enum class Code {
+    kEmptyInput,           // no samples at all
+    kTooShort,             // fewer samples than the operation requires
+    kNonFinite,            // NaN/Inf in input, or produced by the kernel
+    kBadSamplingInterval,  // dt not finite or not positive
+    kBadCorners,           // band-pass corners violate 0 < low < high < Nyquist
+    kBadTaps,              // FIR length not odd / out of range
+    kBadDegree,            // detrend degree out of range
+    kBadUnits,             // units transition not defined (e.g. integrate cm)
+  };
+
+  Code code{};
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+inline const char* slug(SignalError::Code c) {
+  switch (c) {
+    case SignalError::Code::kEmptyInput: return "empty_input";
+    case SignalError::Code::kTooShort: return "too_short";
+    case SignalError::Code::kNonFinite: return "non_finite";
+    case SignalError::Code::kBadSamplingInterval: return "bad_sampling_interval";
+    case SignalError::Code::kBadCorners: return "bad_corners";
+    case SignalError::Code::kBadTaps: return "bad_taps";
+    case SignalError::Code::kBadDegree: return "bad_degree";
+    case SignalError::Code::kBadUnits: return "bad_units";
+  }
+  return "unknown";
+}
+
+inline std::string SignalError::to_string() const {
+  std::string s = "signal.";
+  s += slug(code);
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+}  // namespace acx::signal

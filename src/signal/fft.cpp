@@ -1,0 +1,141 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace acx::signal {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+void bit_reverse_permute(std::vector<Complex>& a) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j |= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+// In-place iterative radix-2 Cooley–Tukey. n must be a power of two.
+// inverse=true conjugates the twiddles but does NOT apply 1/n — the
+// callers own the normalization so Bluestein can reuse the kernel.
+void fft_pow2(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  bit_reverse_permute(a);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z: expresses an arbitrary-N DFT as a circular
+// convolution of chirp-premultiplied input with the conjugate chirp,
+// evaluated by zero-padded power-of-two FFTs of size m >= 2N-1.
+// k^2 is reduced mod 2N before the angle is formed so the chirp stays
+// exact for large N.
+std::vector<Complex> bluestein(const std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    chirp[k] =
+        std::polar(1.0, sign * kPi * static_cast<double>(k2) /
+                            static_cast<double>(n));
+  }
+
+  std::size_t m = 1;
+  while (m < 2 * n - 1) m <<= 1;
+
+  std::vector<Complex> a(m, Complex{});
+  std::vector<Complex> b(m, Complex{});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(chirp[k]);
+
+  fft_pow2(a, false);
+  fft_pow2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a, true);
+
+  std::vector<Complex> out(n);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k] * inv_m;
+  return out;
+}
+
+Result<Unit, SignalError> check_input(const std::vector<Complex>& x) {
+  if (x.empty()) {
+    return SignalError{SignalError::Code::kEmptyInput, "fft of zero samples"};
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i].real()) || !std::isfinite(x[i].imag())) {
+      return SignalError{SignalError::Code::kNonFinite,
+                         "fft input sample " + std::to_string(i) +
+                             " is not finite"};
+    }
+  }
+  return Unit{};
+}
+
+}  // namespace
+
+Result<std::vector<Complex>, SignalError> fft(std::vector<Complex> x) {
+  auto valid = check_input(x);
+  if (!valid.ok()) return std::move(valid).take_error();
+  if (is_power_of_two(x.size())) {
+    fft_pow2(x, false);
+    return x;
+  }
+  return bluestein(x, false);
+}
+
+Result<std::vector<Complex>, SignalError> ifft(std::vector<Complex> x) {
+  auto valid = check_input(x);
+  if (!valid.ok()) return std::move(valid).take_error();
+  if (is_power_of_two(x.size())) {
+    fft_pow2(x, true);
+  } else {
+    x = bluestein(x, true);
+  }
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (Complex& v : x) v *= inv_n;
+  return x;
+}
+
+Result<std::vector<Complex>, SignalError> rfft(const std::vector<double>& x) {
+  std::vector<Complex> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
+  auto full = fft(std::move(cx));
+  if (!full.ok()) return std::move(full).take_error();
+  std::vector<Complex> spec = std::move(full).take();
+  spec.resize(spec.empty() ? 0 : x.size() / 2 + 1);
+  return spec;
+}
+
+std::vector<double> rfft_frequencies(std::size_t n, double dt) {
+  std::vector<double> f(n == 0 ? 0 : n / 2 + 1);
+  for (std::size_t k = 0; k < f.size(); ++k) {
+    f[k] = static_cast<double>(k) /
+           (static_cast<double>(n) * dt);
+  }
+  return f;
+}
+
+}  // namespace acx::signal

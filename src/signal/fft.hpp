@@ -1,0 +1,34 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "signal/error.hpp"
+#include "util/result.hpp"
+
+namespace acx::signal {
+
+using Complex = std::complex<double>;
+
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+// Forward DFT, X[k] = sum_n x[n] e^{-2*pi*i*k*n/N}, no normalization.
+// Power-of-two N runs the iterative radix-2 kernel; any other N runs
+// the Bluestein chirp-z transform on top of it. Rejects empty and
+// non-finite input.
+Result<std::vector<Complex>, SignalError> fft(std::vector<Complex> x);
+
+// Inverse DFT with the 1/N convention: ifft(fft(x)) == x.
+Result<std::vector<Complex>, SignalError> ifft(std::vector<Complex> x);
+
+// Real-input helper: the first N/2+1 bins of fft(x) (the remaining
+// bins are their complex conjugates).
+Result<std::vector<Complex>, SignalError> rfft(const std::vector<double>& x);
+
+// Bin centre frequencies (Hz) for the rfft layout: k / (N * dt),
+// k = 0 .. N/2.
+std::vector<double> rfft_frequencies(std::size_t n, double dt);
+
+}  // namespace acx::signal

@@ -1,0 +1,128 @@
+#include "signal/fir.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace acx::signal {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+double sinc(double t) {
+  if (t == 0.0) return 1.0;
+  const double pt = kPi * t;
+  return std::sin(pt) / pt;
+}
+
+// Full (length n + t - 1) causal convolution with zero initial
+// conditions on both sides.
+std::vector<double> convolve_full(const std::vector<double>& h,
+                                  const std::vector<double>& x) {
+  std::vector<double> y(x.size() + h.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    for (std::size_t k = 0; k < h.size(); ++k) y[i + k] += xi * h[k];
+  }
+  return y;
+}
+
+}  // namespace
+
+Result<std::vector<double>, SignalError> design_bandpass(
+    const BandPassSpec& spec, double dt) {
+  if (!std::isfinite(dt) || dt <= 0) {
+    return SignalError{SignalError::Code::kBadSamplingInterval,
+                       "dt must be finite and positive"};
+  }
+  if (spec.taps < kMinTaps || spec.taps > kMaxTaps || spec.taps % 2 == 0) {
+    return SignalError{SignalError::Code::kBadTaps,
+                       "taps must be odd and in [" + std::to_string(kMinTaps) +
+                           ", " + std::to_string(kMaxTaps) + "]; got " +
+                           std::to_string(spec.taps)};
+  }
+  const double nyquist = 0.5 / dt;
+  if (!std::isfinite(spec.low_hz) || !std::isfinite(spec.high_hz) ||
+      spec.low_hz <= 0 || spec.low_hz >= spec.high_hz ||
+      spec.high_hz >= nyquist) {
+    return SignalError{
+        SignalError::Code::kBadCorners,
+        "corners must satisfy 0 < low < high < Nyquist (" +
+            std::to_string(nyquist) + " Hz); got [" +
+            std::to_string(spec.low_hz) + ", " + std::to_string(spec.high_hz) +
+            "]"};
+  }
+
+  // Normalized (cycles/sample) corners; ideal band-pass = difference of
+  // two ideal low-passes, shaped by a Hamming window.
+  const double f1 = spec.low_hz * dt;
+  const double f2 = spec.high_hz * dt;
+  const int m = (spec.taps - 1) / 2;
+  std::vector<double> h(static_cast<std::size_t>(spec.taps));
+  for (int k = 0; k < spec.taps; ++k) {
+    const double x = static_cast<double>(k - m);
+    const double ideal =
+        2.0 * f2 * sinc(2.0 * f2 * x) - 2.0 * f1 * sinc(2.0 * f1 * x);
+    const double window =
+        0.54 - 0.46 * std::cos(2.0 * kPi * static_cast<double>(k) /
+                               static_cast<double>(spec.taps - 1));
+    h[static_cast<std::size_t>(k)] = ideal * window;
+  }
+
+  // Unit gain at the geometric-centre frequency sqrt(f1 f2).
+  const double f0 = std::sqrt(f1 * f2);
+  std::complex<double> resp{};
+  for (int k = 0; k < spec.taps; ++k) {
+    resp += h[static_cast<std::size_t>(k)] *
+            std::polar(1.0, -2.0 * kPi * f0 * static_cast<double>(k));
+  }
+  const double gain = std::abs(resp);
+  if (!(gain > 1e-12)) {
+    return SignalError{SignalError::Code::kBadCorners,
+                       "degenerate band: centre-frequency gain is ~0"};
+  }
+  for (double& v : h) v /= gain;
+  return h;
+}
+
+Result<std::vector<double>, SignalError> filtfilt(
+    const std::vector<double>& h, const std::vector<double>& x) {
+  if (h.empty() || h.size() % 2 == 0) {
+    return SignalError{SignalError::Code::kBadTaps,
+                       "filter length must be odd and nonzero"};
+  }
+  if (x.empty()) {
+    return SignalError{SignalError::Code::kEmptyInput, "no samples to filter"};
+  }
+  if (x.size() < h.size()) {
+    return SignalError{SignalError::Code::kTooShort,
+                       "record (" + std::to_string(x.size()) +
+                           " samples) shorter than the filter (" +
+                           std::to_string(h.size()) + " taps)"};
+  }
+
+  // Forward pass, time reversal, second pass, reversal back. The
+  // zero-phase output of length n sits at offset taps-1 of the final
+  // full convolution (see docs/SIGNAL.md).
+  std::vector<double> y = convolve_full(h, x);
+  std::reverse(y.begin(), y.end());
+  y = convolve_full(h, y);
+  std::reverse(y.begin(), y.end());
+
+  std::vector<double> out(x.size());
+  const std::size_t offset = h.size() - 1;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = y[offset + i];
+    if (!std::isfinite(v)) {
+      return SignalError{SignalError::Code::kNonFinite,
+                         "filter output sample " + std::to_string(i) +
+                             " is not finite"};
+    }
+    out[i] = v;
+  }
+  return out;
+}
+
+}  // namespace acx::signal

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "signal/error.hpp"
+#include "util/result.hpp"
+
+namespace acx::signal {
+
+// Windowed-sinc FIR band-pass (Hamming window). Corners are the -6 dB
+// edges of the single-pass design; the zero-phase application below
+// squares the magnitude response, making them -12 dB points of the
+// effective filter. See docs/SIGNAL.md for the design equations.
+struct BandPassSpec {
+  double low_hz = 0.0;   // lower pass-band corner, Hz
+  double high_hz = 0.0;  // upper pass-band corner, Hz
+  int taps = 101;        // filter length, odd
+};
+
+inline constexpr int kMinTaps = 3;
+inline constexpr int kMaxTaps = 32767;
+
+// Symmetric (linear-phase) coefficient vector of length spec.taps,
+// normalized to unit single-pass gain at the geometric-centre frequency
+// sqrt(low * high). Errors: bad dt, corners outside 0 < low < high <
+// Nyquist, even/out-of-range taps.
+Result<std::vector<double>, SignalError> design_bandpass(
+    const BandPassSpec& spec, double dt);
+
+// Zero-phase (forward-backward) application: y = reverse(h * reverse(
+// h * x)) with zero initial conditions, trimmed back to x.size(). The
+// effective response is |H(f)|^2 (zero phase, doubled attenuation).
+// Requires x.size() >= h.size(); verifies the output is finite.
+Result<std::vector<double>, SignalError> filtfilt(
+    const std::vector<double>& h, const std::vector<double>& x);
+
+}  // namespace acx::signal

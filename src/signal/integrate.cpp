@@ -1,0 +1,46 @@
+#include "signal/integrate.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace acx::signal {
+
+Result<std::vector<double>, SignalError> integrate_trapezoid(
+    const std::vector<double>& x, double dt) {
+  if (!std::isfinite(dt) || dt <= 0) {
+    return SignalError{SignalError::Code::kBadSamplingInterval,
+                       "dt must be finite and positive"};
+  }
+  if (x.size() < 2) {
+    return SignalError{SignalError::Code::kTooShort,
+                       "integration needs at least 2 samples"};
+  }
+  std::vector<double> y(x.size());
+  y[0] = 0.0;
+  const double half_dt = dt / 2.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    y[i] = y[i - 1] + half_dt * (x[i - 1] + x[i]);
+    if (!std::isfinite(y[i])) {
+      return SignalError{SignalError::Code::kNonFinite,
+                         "integral overflowed at sample " + std::to_string(i)};
+    }
+  }
+  return y;
+}
+
+Result<TimeSeries, SignalError> integrate(const TimeSeries& ts) {
+  Units out_units;
+  switch (ts.units) {
+    case Units::kCmPerS2: out_units = Units::kCmPerS; break;
+    case Units::kCmPerS: out_units = Units::kCm; break;
+    default:
+      return SignalError{SignalError::Code::kBadUnits,
+                         std::string("cannot integrate a series in ") +
+                             to_string(ts.units)};
+  }
+  auto y = integrate_trapezoid(ts.samples, ts.dt);
+  if (!y.ok()) return std::move(y).take_error();
+  return TimeSeries{ts.dt, out_units, std::move(y).take()};
+}
+
+}  // namespace acx::signal

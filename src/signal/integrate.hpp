@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "signal/error.hpp"
+#include "signal/timeseries.hpp"
+#include "util/result.hpp"
+
+namespace acx::signal {
+
+// Cumulative trapezoidal integration with zero initial condition:
+// y[0] = 0, y[i] = y[i-1] + dt * (x[i-1] + x[i]) / 2.
+// Requires finite positive dt and at least 2 samples; verifies the
+// running sum stays finite.
+Result<std::vector<double>, SignalError> integrate_trapezoid(
+    const std::vector<double>& x, double dt);
+
+// Units-aware wrapper: acceleration (cm/s2) -> velocity (cm/s) ->
+// displacement (cm). Integrating counts or cm is a kBadUnits error —
+// calibrate first, and nothing integrates past displacement.
+Result<TimeSeries, SignalError> integrate(const TimeSeries& ts);
+
+}  // namespace acx::signal

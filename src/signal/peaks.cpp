@@ -1,0 +1,34 @@
+#include "signal/peaks.hpp"
+
+#include <cmath>
+
+namespace acx::signal {
+
+Result<Peak, SignalError> extract_peak(const std::vector<double>& x,
+                                       double dt) {
+  if (!std::isfinite(dt) || dt <= 0) {
+    return SignalError{SignalError::Code::kBadSamplingInterval,
+                       "dt must be finite and positive"};
+  }
+  if (x.empty()) {
+    return SignalError{SignalError::Code::kEmptyInput, "no samples"};
+  }
+  Peak peak;
+  double best = -1.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) {
+      return SignalError{SignalError::Code::kNonFinite,
+                         "sample " + std::to_string(i) + " is not finite"};
+    }
+    const double mag = std::fabs(x[i]);
+    if (mag > best) {
+      best = mag;
+      peak.value = x[i];
+      peak.index = i;
+    }
+  }
+  peak.time = static_cast<double>(peak.index) * dt;
+  return peak;
+}
+
+}  // namespace acx::signal

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/error.hpp"
+#include "signal/timeseries.hpp"
+#include "util/result.hpp"
+
+namespace acx::signal {
+
+// Peak of a corrected series: the signed sample value at the maximum
+// absolute amplitude (first such index on ties), with its sample index
+// and time index*dt. Applied to acceleration/velocity/displacement
+// this yields PGA/PGV/PGD.
+struct Peak {
+  double value = 0.0;
+  std::size_t index = 0;
+  double time = 0.0;
+};
+
+Result<Peak, SignalError> extract_peak(const std::vector<double>& x, double dt);
+
+inline Result<Peak, SignalError> extract_peak(const TimeSeries& ts) {
+  return extract_peak(ts.samples, ts.dt);
+}
+
+}  // namespace acx::signal

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "signal/error.hpp"
+#include "util/result.hpp"
+
+namespace acx::signal {
+
+// Physical units tracked through the correction chain. The V2 data
+// block is corrected acceleration (cm/s2); velocity and displacement
+// exist as intermediate series feeding PGV/PGD.
+enum class Units { kCounts, kCmPerS2, kCmPerS, kCm };
+
+inline const char* to_string(Units u) {
+  switch (u) {
+    case Units::kCounts: return "counts";
+    case Units::kCmPerS2: return "cm/s2";
+    case Units::kCmPerS: return "cm/s";
+    case Units::kCm: return "cm";
+  }
+  return "unknown";
+}
+
+// Uniformly sampled series: the value type every kernel operates on.
+struct TimeSeries {
+  double dt = 0.0;  // sampling interval, seconds
+  Units units = Units::kCounts;
+  std::vector<double> samples;
+
+  std::size_t size() const { return samples.size(); }
+  double duration() const {
+    return samples.empty() ? 0.0
+                           : static_cast<double>(samples.size() - 1) * dt;
+  }
+  double time_at(std::size_t i) const { return static_cast<double>(i) * dt; }
+};
+
+// Structural validity: positive finite dt, at least one sample, every
+// sample finite. The pipeline runs this once at the entry to the
+// numerical chain; kernels may assume it afterwards but still verify
+// their own outputs.
+inline Result<Unit, SignalError> validate(const TimeSeries& ts) {
+  if (!std::isfinite(ts.dt) || ts.dt <= 0) {
+    return SignalError{SignalError::Code::kBadSamplingInterval,
+                       "dt must be finite and positive"};
+  }
+  if (ts.samples.empty()) {
+    return SignalError{SignalError::Code::kEmptyInput, "no samples"};
+  }
+  for (std::size_t i = 0; i < ts.samples.size(); ++i) {
+    if (!std::isfinite(ts.samples[i])) {
+      return SignalError{SignalError::Code::kNonFinite,
+                         "sample " + std::to_string(i) + " is not finite"};
+    }
+  }
+  return Unit{};
+}
+
+}  // namespace acx::signal

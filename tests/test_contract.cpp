@@ -1,0 +1,101 @@
+// The docs/SIGNAL.md worked example, enforced: the exact dataset named
+// there (paper event 1, scale 0.02, seed 42) is regenerated, run
+// through the full correction chain, and record SS01l's PGA/PGV/PGD
+// must match the values printed in the doc to 1e-6 relative. If a
+// kernel change shifts the numbers, the doc must move with it — this
+// test is the tripwire.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "formats/v2.hpp"
+#include "pipeline/runner.hpp"
+#include "synth/synth.hpp"
+#include "test_helpers.hpp"
+
+#ifndef ACX_SOURCE_DIR
+#error "test_contract needs ACX_SOURCE_DIR pointing at the repo root"
+#endif
+
+namespace acx {
+namespace {
+
+// First "<TAG> <value> <time>" line of the doc's worked-example block.
+bool find_peak_line(const std::string& doc, const std::string& tag,
+                    double& value, double& time) {
+  std::size_t pos = 0;
+  while ((pos = doc.find(tag + " ", pos)) != std::string::npos) {
+    if (pos != 0 && doc[pos - 1] != '\n') {
+      ++pos;
+      continue;
+    }
+    const char* s = doc.c_str() + pos + tag.size() + 1;
+    char* end = nullptr;
+    value = std::strtod(s, &end);
+    if (end == s) {
+      ++pos;
+      continue;
+    }
+    s = end;
+    time = std::strtod(s, &end);
+    if (end == s) {
+      ++pos;
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+TEST(Contract, WorkedExamplePeaksMatchSignalDoc) {
+  RealFileSystem fs;
+  auto doc = fs.read_file(std::filesystem::path(ACX_SOURCE_DIR) / "docs" /
+                          "SIGNAL.md");
+  ASSERT_TRUE(doc.ok()) << "docs/SIGNAL.md missing";
+
+  // The dataset exactly as the doc describes it.
+  test::TempDir tmp("contract");
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  synth::EventSpec spec = synth::paper_events()[0];
+  synth::SynthConfig synth_cfg;
+  synth_cfg.seed = 42;
+  synth_cfg.scale = 0.02;
+  ASSERT_TRUE(synth::build_event_dataset(fs, input, spec, synth_cfg).ok());
+
+  pipeline::RunnerConfig cfg;
+  cfg.sleep = [](int) {};
+  auto run = pipeline::run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  ASSERT_EQ(run.value().count_quarantined(), 0);
+
+  auto content = fs.read_file(work / "out" / "SS01l.v2");
+  ASSERT_TRUE(content.ok());
+  auto v2 = formats::read_v2(content.value());
+  ASSERT_TRUE(v2.ok()) << v2.error().to_string();
+  ASSERT_TRUE(v2.value().peaks.present);
+
+  const struct {
+    const char* tag;
+    formats::PeakEntry got;
+  } kChecks[] = {
+      {"PGA", v2.value().peaks.pga},
+      {"PGV", v2.value().peaks.pgv},
+      {"PGD", v2.value().peaks.pgd},
+  };
+  for (const auto& check : kChecks) {
+    SCOPED_TRACE(check.tag);
+    double doc_value = 0, doc_time = 0;
+    ASSERT_TRUE(find_peak_line(doc.value(), check.tag, doc_value, doc_time))
+        << "docs/SIGNAL.md has no '" << check.tag << " <value> <time>' line";
+    EXPECT_NEAR(check.got.value, doc_value,
+                1e-6 * std::fabs(doc_value) + 1e-12);
+    EXPECT_NEAR(check.got.time, doc_time, 1e-6 * doc_time + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace acx

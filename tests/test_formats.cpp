@@ -97,6 +97,71 @@ TEST(V2, RoundTripWithProcessingList) {
   EXPECT_EQ(back.value().record.header.units, "cm/s2");
 }
 
+TEST(V2, RoundTripWithPeaksAndComments) {
+  V2Record v2;
+  v2.record = make_record(11);
+  v2.record.header.units = "cm/s2";
+  v2.processing = {"calibrate", "demean", "write_v2"};
+  v2.peaks.present = true;
+  v2.peaks.pga = {-123.456789012, 0.035};
+  v2.peaks.pgv = {4.5e-2, 0.04};
+  v2.peaks.pgd = {1.25e-3, 0.055};
+  v2.comments = {"bandpass: fir 0.50-25.00 Hz, 101 taps",
+                 "integrate: trapezoid"};
+  auto back = read_v2(write_v2(v2));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  ASSERT_TRUE(back.value().peaks.present);
+  // %.9e keeps 10 significant digits — far inside the 1e-6 contract.
+  EXPECT_NEAR(back.value().peaks.pga.value, v2.peaks.pga.value, 1e-6);
+  EXPECT_NEAR(back.value().peaks.pga.time, v2.peaks.pga.time, 1e-9);
+  EXPECT_NEAR(back.value().peaks.pgv.value, v2.peaks.pgv.value, 1e-9);
+  EXPECT_NEAR(back.value().peaks.pgd.value, v2.peaks.pgd.value, 1e-9);
+  EXPECT_EQ(back.value().comments, v2.comments);
+}
+
+TEST(V2, PeakBlockIsAllOrNothing) {
+  V2Record v2;
+  v2.record = make_record(5);
+  v2.record.header.units = "cm/s2";
+  v2.processing = {"demean"};
+  v2.peaks.present = true;
+  v2.peaks.pga = {1.0, 0.0};
+  v2.peaks.pgv = {2.0, 0.0};
+  v2.peaks.pgd = {3.0, 0.0};
+  // Dropping any one of the three peak lines must be rejected.
+  for (const std::string prefix : {"PGA ", "PGV ", "PGD "}) {
+    std::string text = drop_line(write_v2(v2), prefix);
+    auto back = read_v2(text);
+    ASSERT_FALSE(back.ok()) << "partial peak block accepted (no " << prefix
+                            << ")";
+    EXPECT_EQ(back.error().code, ParseError::Code::kMissingHeaderField);
+  }
+  // Non-finite or negative-time peak values are rejected too.
+  auto nan_peak = read_v2(
+      replace_first(write_v2(v2), "PGA 1.000000000e+00 0.000000000e+00",
+                    "PGA nan 0.0"));
+  ASSERT_FALSE(nan_peak.ok());
+  EXPECT_EQ(nan_peak.error().code, ParseError::Code::kBadHeaderField);
+  auto neg_time = read_v2(
+      replace_first(write_v2(v2), "PGA 1.000000000e+00 0.000000000e+00",
+                    "PGA 1.0 -0.5"));
+  ASSERT_FALSE(neg_time.ok());
+  EXPECT_EQ(neg_time.error().code, ParseError::Code::kBadHeaderField);
+}
+
+TEST(V1, RejectsPeakLinesAndComments) {
+  // The corrected-format extensions must not leak into strict V1.
+  const std::string valid = write_v1(make_record(4));
+  auto with_peak = read_v1(
+      replace_first(valid, "UNITS counts", "UNITS counts\nPGA 1.0 0.5"));
+  ASSERT_FALSE(with_peak.ok());
+  EXPECT_EQ(with_peak.error().code, ParseError::Code::kBadHeaderField);
+  auto with_comment = read_v1(
+      replace_first(valid, "UNITS counts", "UNITS counts\n# history"));
+  ASSERT_FALSE(with_comment.ok());
+  EXPECT_EQ(with_comment.error().code, ParseError::Code::kBadHeaderField);
+}
+
 TEST(V2, RejectsCountsUnits) {
   V2Record v2;
   v2.record = make_record(4);

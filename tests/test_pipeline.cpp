@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
+#include "formats/v1.hpp"
 #include "formats/v2.hpp"
 #include "pipeline/runner.hpp"
 #include "pipeline/validate.hpp"
@@ -52,12 +54,22 @@ TEST(Pipeline, HappyPathProducesAllOutputsAndCleanReport) {
     ASSERT_TRUE(v2.ok()) << v2.error().to_string();
     EXPECT_EQ(v2.value().record.header.units, "cm/s2");
     EXPECT_EQ(v2.value().processing,
-              (std::vector<std::string>{"demean", "detrend", "write_v2"}));
-    // Demean + detrend really happened: mean is ~0.
+              (std::vector<std::string>{"calibrate", "demean", "bandpass",
+                                        "detrend", "integrate", "peaks",
+                                        "write_v2"}));
+    // Demean + band-pass + detrend really happened: mean is ~0.
     const auto& s = v2.value().record.samples;
     const double mean = std::accumulate(s.begin(), s.end(), 0.0) /
                         static_cast<double>(s.size());
     EXPECT_NEAR(mean, 0.0, 1e-3);
+    // The peak block is present and PGA matches the data block exactly.
+    ASSERT_TRUE(v2.value().peaks.present);
+    double max_abs = 0.0;
+    for (const double v : s) max_abs = std::max(max_abs, std::fabs(v));
+    EXPECT_NEAR(std::fabs(v2.value().peaks.pga.value), max_abs,
+                1e-4 * max_abs);  // %12.4e data cells keep 5 digits
+    // Processing history rode along as comments.
+    EXPECT_FALSE(v2.value().comments.empty());
   }
 
   const ValidationSummary audit = validate_workdir(fs, work);
@@ -154,6 +166,137 @@ TEST(Pipeline, ValidatorFlagsTamperedWorkdir) {
   }
   EXPECT_TRUE(saw_partial);
   EXPECT_TRUE(saw_unexpected);
+}
+
+TEST(Pipeline, ReportCarriesPerStageWallClock) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_small_event(fs, input, 3);
+
+  auto run = run_pipeline(fs, input, work, test_config());
+  ASSERT_TRUE(run.ok());
+  const RunReport& report = run.value();
+
+  EXPECT_GT(report.total_seconds, 0.0);
+  for (const RecordOutcome& r : report.records) {
+    double stage_sum = 0.0;
+    for (const StageAttempt& s : r.stages) {
+      EXPECT_GE(s.seconds, 0.0) << r.record << "/" << s.stage;
+      stage_sum += s.seconds;
+    }
+    EXPECT_NEAR(r.seconds, stage_sum, 1e-9);
+  }
+  // Every stage of the chain shows up in the per-stage totals.
+  const auto totals = report.stage_totals();
+  for (const char* stage :
+       {"scratch_setup", "stage_in", "parse", "calibrate", "demean",
+        "bandpass", "detrend", "integrate", "peaks", "write_v2"}) {
+    ASSERT_TRUE(totals.count(stage)) << stage;
+    EXPECT_GE(totals.at(stage), 0.0) << stage;
+  }
+
+  // The timings survive the JSON round trip (acx_validate relies on it).
+  auto text = fs.read_file(work / kRunReportFileName);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text.value().find("\"stage_totals\""), std::string::npos);
+  EXPECT_NE(text.value().find("\"total_seconds\""), std::string::npos);
+  auto back = RunReport::from_json_text(text.value());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_NEAR(back.value().total_seconds, report.total_seconds,
+              1e-9 + 1e-9 * report.total_seconds);
+}
+
+formats::Record make_tiny_record(long npts, double value,
+                                 const std::string& units) {
+  formats::Record rec;
+  rec.header.station = "TT01";
+  rec.header.component = "l";
+  rec.header.event_id = "EV99";
+  rec.header.date = "2020-01-01";
+  rec.header.dt = 0.005;
+  rec.header.npts = npts;
+  rec.header.units = units;
+  for (long i = 0; i < npts; ++i) {
+    rec.samples.push_back(value * (1.0 + 0.01 * static_cast<double>(i % 7)));
+  }
+  return rec;
+}
+
+TEST(Pipeline, TooShortRecordQuarantinesWithTypedSignalReason) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  ASSERT_TRUE(fs.create_directories(input).ok());
+  // 30 samples parse fine but cannot carry the minimum 21-tap FIR
+  // (needs >= 63): poison at the bandpass stage, not a parse error.
+  ASSERT_TRUE(fs.write_file(input / "TT01l.v1",
+                            formats::write_v1(make_tiny_record(30, 100.0,
+                                                               "counts")))
+                  .ok());
+
+  auto run = run_pipeline(fs, input, tmp.path() / "work", test_config());
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().records.size(), 1u);
+  const RecordOutcome& r = run.value().records[0];
+  EXPECT_EQ(r.status, RecordOutcome::Status::kQuarantined);
+  EXPECT_EQ(r.reason, "signal.too_short");
+  EXPECT_FALSE(r.stages.empty());
+  EXPECT_EQ(r.stages.back().stage, "bandpass");
+}
+
+TEST(Pipeline, OverflowingRecordQuarantinesAsNonFinite) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  ASSERT_TRUE(fs.create_directories(input).ok());
+  // Every sample near DBL_MAX: each is finite (so the strict parser
+  // accepts the file), but the demean sum overflows to infinity — the
+  // numerical chain must catch what the parser cannot.
+  ASSERT_TRUE(fs.write_file(input / "TT01l.v1",
+                            formats::write_v1(make_tiny_record(80, 1e308,
+                                                               "cm/s2")))
+                  .ok());
+
+  auto run = run_pipeline(fs, input, tmp.path() / "work", test_config());
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run.value().records.size(), 1u);
+  const RecordOutcome& r = run.value().records[0];
+  EXPECT_EQ(r.status, RecordOutcome::Status::kQuarantined);
+  EXPECT_EQ(r.reason, "signal.non_finite");
+  EXPECT_EQ(r.stages.back().stage, "demean");
+}
+
+TEST(Pipeline, ValidatorFlagsOutputWithoutPeakBlock) {
+  test::TempDir tmp("pipeline");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_small_event(fs, input, 3);
+  auto run = run_pipeline(fs, input, work, test_config());
+  ASSERT_TRUE(run.ok());
+
+  // Strip the whole peak block from one claimed output. The file is
+  // still a well-formed V2 (the block is optional in the format), but
+  // the pipeline contract says outputs must carry it.
+  auto content = fs.read_file(run.value().records[0].output);
+  ASSERT_TRUE(content.ok());
+  std::string text = content.value();
+  for (const char* prefix : {"PGA ", "PGV ", "PGD "}) {
+    const auto pos = text.find(prefix);
+    ASSERT_NE(pos, std::string::npos);
+    text.erase(pos, text.find('\n', pos) - pos + 1);
+  }
+  ASSERT_TRUE(fs.write_file(run.value().records[0].output, text).ok());
+
+  const ValidationSummary audit = validate_workdir(fs, work);
+  EXPECT_FALSE(audit.clean());
+  bool saw_missing_peaks = false;
+  for (const auto& issue : audit.issues) {
+    if (issue.kind == "missing_peaks") saw_missing_peaks = true;
+  }
+  EXPECT_TRUE(saw_missing_peaks);
 }
 
 TEST(Pipeline, ValidatorFlagsCorruptOutput) {

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "signal/baseline.hpp"
+#include "signal/fft.hpp"
+#include "signal/fir.hpp"
+#include "signal/integrate.hpp"
+#include "signal/peaks.hpp"
+#include "signal/timeseries.hpp"
+
+namespace acx::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<Complex> to_complex(const std::vector<double>& x) {
+  std::vector<Complex> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
+  return cx;
+}
+
+// --- FFT -----------------------------------------------------------------
+
+TEST(Fft, ImpulseHasFlatUnitSpectrum) {
+  std::vector<Complex> x(8, Complex{});
+  x[0] = 1.0;
+  auto spec = fft(x);
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  for (const Complex& bin : spec.value()) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureSineLandsInItsBin) {
+  // x[n] = sin(2 pi k0 n / N): X[k0] = -i N/2, X[N-k0] = +i N/2, rest 0.
+  const std::size_t n = 64, k0 = 5;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * static_cast<double>(k0 * i) /
+                    static_cast<double>(n));
+  }
+  auto spec = fft(to_complex(x));
+  ASSERT_TRUE(spec.ok());
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex& bin = spec.value()[k];
+    if (k == k0) {
+      EXPECT_NEAR(bin.real(), 0.0, 1e-9);
+      EXPECT_NEAR(bin.imag(), -static_cast<double>(n) / 2.0, 1e-9);
+    } else if (k == n - k0) {
+      EXPECT_NEAR(bin.real(), 0.0, 1e-9);
+      EXPECT_NEAR(bin.imag(), static_cast<double>(n) / 2.0, 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(bin), 0.0, 1e-9) << "bin " << k;
+    }
+  }
+}
+
+TEST(Fft, ParsevalHoldsForPow2AndBluestein) {
+  for (const std::size_t n : {64u, 100u, 97u}) {  // pow2, composite, prime
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = std::sin(0.37 * static_cast<double>(i)) +
+             0.25 * std::cos(1.1 * static_cast<double>(i));
+    }
+    auto spec = fft(to_complex(x));
+    ASSERT_TRUE(spec.ok());
+    double time_energy = 0.0, freq_energy = 0.0;
+    for (const double v : x) time_energy += v * v;
+    for (const Complex& bin : spec.value()) freq_energy += std::norm(bin);
+    EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+                1e-9 * time_energy)
+        << "n=" << n;
+  }
+}
+
+TEST(Fft, InverseRoundTripsAnyLength) {
+  for (const std::size_t n : {1u, 2u, 16u, 12u, 13u, 100u}) {
+    std::vector<Complex> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = Complex(std::cos(0.7 * static_cast<double>(i)),
+                     std::sin(0.3 * static_cast<double>(i)));
+    }
+    auto fwd = fft(x);
+    ASSERT_TRUE(fwd.ok());
+    auto back = ifft(fwd.value());
+    ASSERT_TRUE(back.ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(back.value()[i].real(), x[i].real(), 1e-9) << "n=" << n;
+      EXPECT_NEAR(back.value()[i].imag(), x[i].imag(), 1e-9) << "n=" << n;
+    }
+  }
+}
+
+TEST(Fft, RfftMatchesFullSpectrumPrefix) {
+  std::vector<double> x(48);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.2 * static_cast<double>(i));
+  }
+  auto full = fft(to_complex(x));
+  auto half = rfft(x);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(half.ok());
+  ASSERT_EQ(half.value().size(), x.size() / 2 + 1);
+  for (std::size_t k = 0; k < half.value().size(); ++k) {
+    EXPECT_NEAR(std::abs(half.value()[k] - full.value()[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RfftFrequenciesSpanDcToNyquist) {
+  const auto f = rfft_frequencies(200, 0.005);  // fs = 200 Hz
+  ASSERT_EQ(f.size(), 101u);
+  EXPECT_DOUBLE_EQ(f.front(), 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);        // 1 / (200 * 0.005)
+  EXPECT_DOUBLE_EQ(f.back(), 100.0);  // Nyquist
+}
+
+TEST(Fft, RejectsEmptyAndNonFiniteInput) {
+  EXPECT_EQ(fft({}).error().code, SignalError::Code::kEmptyInput);
+  std::vector<Complex> bad(4, Complex{1.0, 0.0});
+  bad[2] = Complex(std::nan(""), 0.0);
+  EXPECT_EQ(fft(bad).error().code, SignalError::Code::kNonFinite);
+  EXPECT_EQ(ifft({}).error().code, SignalError::Code::kEmptyInput);
+}
+
+// --- FIR band-pass -------------------------------------------------------
+
+std::vector<double> sine(std::size_t n, double freq_hz, double dt) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * freq_hz * static_cast<double>(i) * dt);
+  }
+  return x;
+}
+
+// Peak amplitude over the middle half (edge transients excluded).
+double mid_amplitude(const std::vector<double>& x) {
+  double peak = 0.0;
+  for (std::size_t i = x.size() / 4; i < 3 * x.size() / 4; ++i) {
+    peak = std::max(peak, std::fabs(x[i]));
+  }
+  return peak;
+}
+
+TEST(Fir, PassBandIsPreservedStopBandIsCrushed) {
+  // Corners chosen so both DC and 30 Hz sit beyond the ~3.3 Hz Hamming
+  // transition band of a 101-tap design at fs = 100 Hz (see
+  // docs/SIGNAL.md, "Transition width").
+  const double dt = 0.01;  // fs = 100 Hz, Nyquist 50 Hz
+  auto h = design_bandpass({5.0, 15.0, 101}, dt);
+  ASSERT_TRUE(h.ok()) << h.error().to_string();
+
+  // Geometric-centre frequency: unit gain by construction.
+  const double f0 = std::sqrt(5.0 * 15.0);
+  auto centre = filtfilt(h.value(), sine(2000, f0, dt));
+  ASSERT_TRUE(centre.ok());
+  EXPECT_NEAR(mid_amplitude(centre.value()), 1.0, 0.05);
+
+  // Deep stop band (30 Hz, 2x the upper corner): the zero-phase pass
+  // doubles the single-pass Hamming attenuation.
+  auto stop = filtfilt(h.value(), sine(2000, 30.0, dt));
+  ASSERT_TRUE(stop.ok());
+  EXPECT_LT(mid_amplitude(stop.value()), 1e-4);
+
+  // DC (the classic accelerograph offset) is rejected too.
+  auto dc = filtfilt(h.value(), std::vector<double>(2000, 1.0));
+  ASSERT_TRUE(dc.ok());
+  EXPECT_LT(mid_amplitude(dc.value()), 1e-4);
+}
+
+TEST(Fir, DesignRejectsBadParameters) {
+  const double dt = 0.01;
+  EXPECT_EQ(design_bandpass({1.0, 10.0, 100}, dt).error().code,
+            SignalError::Code::kBadTaps);  // even
+  EXPECT_EQ(design_bandpass({1.0, 10.0, 1}, dt).error().code,
+            SignalError::Code::kBadTaps);  // below kMinTaps
+  EXPECT_EQ(design_bandpass({10.0, 1.0, 101}, dt).error().code,
+            SignalError::Code::kBadCorners);  // low > high
+  EXPECT_EQ(design_bandpass({0.0, 10.0, 101}, dt).error().code,
+            SignalError::Code::kBadCorners);  // low = 0
+  EXPECT_EQ(design_bandpass({1.0, 50.0, 101}, dt).error().code,
+            SignalError::Code::kBadCorners);  // high = Nyquist
+  EXPECT_EQ(design_bandpass({1.0, 10.0, 101}, 0.0).error().code,
+            SignalError::Code::kBadSamplingInterval);
+}
+
+TEST(Fir, FiltfiltRejectsShortAndEmptyInput) {
+  auto h = design_bandpass({1.0, 10.0, 21}, 0.01);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(filtfilt(h.value(), {}).error().code,
+            SignalError::Code::kEmptyInput);
+  EXPECT_EQ(filtfilt(h.value(), std::vector<double>(20, 1.0)).error().code,
+            SignalError::Code::kTooShort);
+  EXPECT_EQ(filtfilt({0.5, 0.5}, std::vector<double>(8, 1.0)).error().code,
+            SignalError::Code::kBadTaps);  // even filter
+}
+
+TEST(Fir, FiltfiltHasZeroPhase) {
+  // A pass-band sine must come out in phase: the cross-correlation peak
+  // of input and output sits at zero lag, i.e. same-signed samples.
+  const double dt = 0.01;
+  auto h = design_bandpass({1.0, 10.0, 101}, dt);
+  ASSERT_TRUE(h.ok());
+  const auto x = sine(2000, 3.0, dt);
+  auto y = filtfilt(h.value(), x);
+  ASSERT_TRUE(y.ok());
+  double dot = 0.0, xx = 0.0, yy = 0.0;
+  for (std::size_t i = x.size() / 4; i < 3 * x.size() / 4; ++i) {
+    dot += x[i] * y.value()[i];
+    xx += x[i] * x[i];
+    yy += y.value()[i] * y.value()[i];
+  }
+  EXPECT_GT(dot / std::sqrt(xx * yy), 0.999);  // cos(phase shift) ~ 1
+}
+
+// --- Baseline ------------------------------------------------------------
+
+TEST(Baseline, RemoveMeanIsExact) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  auto mean = remove_mean(x);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean.value(), 2.5);
+  const std::vector<double> want{-1.5, -0.5, 0.5, 1.5};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x[i], want[i]);
+  }
+}
+
+TEST(Baseline, LinearDetrendIsExactOnALine) {
+  std::vector<double> x(101);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 3.0 + 0.25 * static_cast<double>(i);
+  }
+  auto trend = detrend_linear(x);
+  ASSERT_TRUE(trend.ok());
+  EXPECT_NEAR(trend.value().slope, 0.25, 1e-12);
+  EXPECT_NEAR(trend.value().intercept, 3.0 + 0.25 * 50.0, 1e-12);
+  for (const double v : x) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Baseline, PolynomialDetrendIsExactOnItsOwnDegree) {
+  // A cubic is annihilated by a degree-3 fit (to round-off), and the
+  // residual of the fit on cubic + sine is the sine's own detrended
+  // remainder — bounded by the sine amplitude.
+  std::vector<double> x(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = 1.0 - 0.5 * t + 0.01 * t * t - 1e-5 * t * t * t;
+  }
+  auto c = detrend_polynomial(x, 3);
+  ASSERT_TRUE(c.ok()) << c.error().to_string();
+  EXPECT_EQ(c.value().size(), 4u);
+  for (const double v : x) EXPECT_NEAR(v, 0.0, 1e-7);
+}
+
+TEST(Baseline, DegreeZeroDetrendEqualsDemean) {
+  std::vector<double> a{5.0, 7.0, 9.0, 11.0};
+  std::vector<double> b = a;
+  ASSERT_TRUE(detrend_polynomial(a, 0).ok());
+  ASSERT_TRUE(remove_mean(b).ok());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Baseline, ErrorsAreTyped) {
+  std::vector<double> empty;
+  EXPECT_EQ(remove_mean(empty).error().code, SignalError::Code::kEmptyInput);
+  std::vector<double> one{1.0};
+  EXPECT_EQ(detrend_linear(one).error().code, SignalError::Code::kTooShort);
+  std::vector<double> x(16, 1.0);
+  EXPECT_EQ(detrend_polynomial(x, kMaxDetrendDegree + 1).error().code,
+            SignalError::Code::kBadDegree);
+  EXPECT_EQ(detrend_polynomial(x, -1).error().code,
+            SignalError::Code::kBadDegree);
+  std::vector<double> overflow(4, 1e308);
+  EXPECT_EQ(remove_mean(overflow).error().code,
+            SignalError::Code::kNonFinite);
+}
+
+// --- Integration ---------------------------------------------------------
+
+TEST(Integrate, SineMatchesClosedForm) {
+  // integral of sin(w t) = (1 - cos(w t)) / w; trapezoid error O(dt^2).
+  const double dt = 0.001, w = 2.0 * kPi;
+  const std::size_t n = 1001;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(w * static_cast<double>(i) * dt);
+  }
+  auto y = integrate_trapezoid(x, dt);
+  ASSERT_TRUE(y.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    EXPECT_NEAR(y.value()[i], (1.0 - std::cos(w * t)) / w, 1e-5) << "i=" << i;
+  }
+}
+
+TEST(Integrate, ConstantGivesExactRamp) {
+  auto y = integrate_trapezoid(std::vector<double>(5, 2.0), 0.5);
+  ASSERT_TRUE(y.ok());
+  const std::vector<double> want{0.0, 1.0, 2.0, 3.0, 4.0};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y.value()[i], want[i]);
+  }
+}
+
+TEST(Integrate, UnitsLadderIsEnforced) {
+  TimeSeries acc{0.01, Units::kCmPerS2, std::vector<double>(8, 1.0)};
+  auto vel = integrate(acc);
+  ASSERT_TRUE(vel.ok());
+  EXPECT_EQ(vel.value().units, Units::kCmPerS);
+  auto disp = integrate(vel.value());
+  ASSERT_TRUE(disp.ok());
+  EXPECT_EQ(disp.value().units, Units::kCm);
+  EXPECT_EQ(integrate(disp.value()).error().code,
+            SignalError::Code::kBadUnits);  // nothing past displacement
+  TimeSeries counts{0.01, Units::kCounts, std::vector<double>(8, 1.0)};
+  EXPECT_EQ(integrate(counts).error().code, SignalError::Code::kBadUnits);
+}
+
+TEST(Integrate, ErrorsAreTyped) {
+  EXPECT_EQ(integrate_trapezoid({1.0}, 0.01).error().code,
+            SignalError::Code::kTooShort);
+  EXPECT_EQ(integrate_trapezoid({1.0, 2.0}, -1.0).error().code,
+            SignalError::Code::kBadSamplingInterval);
+  EXPECT_EQ(integrate_trapezoid({1e308, 1e308, 1e308}, 1e10).error().code,
+            SignalError::Code::kNonFinite);
+}
+
+// --- Peaks ---------------------------------------------------------------
+
+TEST(Peaks, SignedValueAtMaxAbsoluteAmplitude) {
+  auto p = extract_peak({1.0, -5.0, 3.0}, 0.5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value().value, -5.0);
+  EXPECT_EQ(p.value().index, 1u);
+  EXPECT_DOUBLE_EQ(p.value().time, 0.5);
+}
+
+TEST(Peaks, FirstIndexWinsOnTies) {
+  auto p = extract_peak({2.0, -2.0, 2.0}, 0.1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().index, 0u);
+  EXPECT_DOUBLE_EQ(p.value().value, 2.0);
+}
+
+TEST(Peaks, ErrorsAreTyped) {
+  EXPECT_EQ(extract_peak({}, 0.1).error().code,
+            SignalError::Code::kEmptyInput);
+  EXPECT_EQ(extract_peak({1.0}, 0.0).error().code,
+            SignalError::Code::kBadSamplingInterval);
+  EXPECT_EQ(extract_peak({1.0, std::nan("")}, 0.1).error().code,
+            SignalError::Code::kNonFinite);
+}
+
+// --- TimeSeries validation ----------------------------------------------
+
+TEST(TimeSeriesCheck, ValidateCatchesEveryStructuralFault) {
+  TimeSeries good{0.005, Units::kCounts, {1.0, 2.0}};
+  EXPECT_TRUE(validate(good).ok());
+  TimeSeries bad_dt = good;
+  bad_dt.dt = 0.0;
+  EXPECT_EQ(validate(bad_dt).error().code,
+            SignalError::Code::kBadSamplingInterval);
+  TimeSeries empty = good;
+  empty.samples.clear();
+  EXPECT_EQ(validate(empty).error().code, SignalError::Code::kEmptyInput);
+  TimeSeries nan_sample = good;
+  nan_sample.samples[1] = std::nan("");
+  EXPECT_EQ(validate(nan_sample).error().code, SignalError::Code::kNonFinite);
+}
+
+}  // namespace
+}  // namespace acx::signal
