@@ -1,0 +1,79 @@
+// Stage IX economics: the paper attributes 57.2% of the sequential
+// runtime to response-spectra computation, so this file carries the
+// names the CI regression gate watches ("spectrum.response" above all).
+// Sizes follow the paper's per-file range (7.3K–35K samples).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "spectrum/corners.hpp"
+#include "spectrum/fourier.hpp"
+#include "spectrum/response.hpp"
+
+namespace {
+
+std::vector<double> bench_samples(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * 0.005;
+    x[i] = 80.0 * std::sin(2.0 * M_PI * 3.0 * t) * std::exp(-0.15 * t) +
+           20.0 * std::sin(2.0 * M_PI * 9.0 * t);
+  }
+  return x;
+}
+
+void BM_Fourier(benchmark::State& state) {
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto fas = acx::spectrum::fourier_amplitude(x, 0.005);
+    benchmark::DoNotOptimize(fas);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Corners(benchmark::State& state) {
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const auto fas = acx::spectrum::fourier_amplitude(x, 0.005);
+  for (auto _ : state) {
+    auto corners = acx::spectrum::find_corners(fas.value());
+    benchmark::DoNotOptimize(corners);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(fas.value().size()));
+}
+
+void BM_Sdof(benchmark::State& state) {
+  // One grid cell: the inner kernel the OpenMP drivers will spread
+  // over (record x period).
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto peaks = acx::spectrum::sdof_peak_response(x, 0.005, 1.0, 0.05);
+    benchmark::DoNotOptimize(peaks);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Response(benchmark::State& state) {
+  // Full paper grid (600 periods x 5 dampings) over one record: the
+  // sequential Stage IX cost per component.
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const auto grid = acx::spectrum::paper_grid();
+  for (auto _ : state) {
+    auto spec = acx::spectrum::response_spectrum(x, 0.005, grid);
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<long>(grid.periods.size() *
+                                            grid.dampings.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fourier)->Name("spectrum.fourier")->Arg(7300)->Arg(35000);
+BENCHMARK(BM_Corners)->Name("spectrum.corners")->Arg(7300)->Arg(35000);
+BENCHMARK(BM_Sdof)->Name("spectrum.sdof")->Arg(7300)->Arg(35000);
+BENCHMARK(BM_Response)->Name("spectrum.response")->Arg(7300);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Normalize google-benchmark JSON and gate on regressions.
+
+Reads one or more ``--benchmark_format=json`` outputs, converts every
+timing to nanoseconds, and writes a single normalized report (the
+``BENCH_<sha>.json`` artifact CI uploads).  When a baseline is given,
+any benchmark whose cpu time exceeds ``tolerance x`` its baseline value
+fails the run; a benchmark present in the baseline but missing from the
+current run also fails (a silently dropped bench would otherwise look
+like a speedup).  Refresh the checked-in baseline with
+``--update-baseline`` after a deliberate performance change.
+
+Exit codes: 0 ok, 1 regression (or missing benchmark), 2 usage/input
+error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_runs(paths):
+    """Merge benchmark entries from several gbench JSON files.
+
+    Returns {name: {"real_time_ns": float, "cpu_time_ns": float}}, with
+    repeated measurements collapsed to their minimum (the least noisy
+    estimate of the true cost).
+    """
+    merged = {}
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"bench_report: cannot read {path}: {exc}")
+        benches = doc.get("benchmarks", [])
+        if not isinstance(benches, list):
+            raise SystemExit(
+                f"bench_report: {path} is not raw google-benchmark output "
+                "(did you pass a normalized BENCH_*.json back in?)")
+        for bench in benches:
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench.get("name")
+            unit = bench.get("time_unit", "ns")
+            if name is None or unit not in _NS_PER_UNIT:
+                raise SystemExit(
+                    f"bench_report: malformed benchmark entry in {path}: "
+                    f"{bench!r}")
+            scale = _NS_PER_UNIT[unit]
+            entry = {
+                "real_time_ns": float(bench["real_time"]) * scale,
+                "cpu_time_ns": float(bench["cpu_time"]) * scale,
+            }
+            if name in merged:
+                for key in entry:
+                    merged[name][key] = min(merged[name][key], entry[key])
+            else:
+                merged[name] = entry
+    if not merged:
+        raise SystemExit("bench_report: no benchmark entries found")
+    return merged
+
+
+def compare(current, baseline, tolerance):
+    """Returns a list of human-readable failures."""
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        base_ns = base["cpu_time_ns"]
+        cur_ns = current[name]["cpu_time_ns"]
+        if base_ns <= 0:
+            continue
+        ratio = cur_ns / base_ns
+        if ratio > tolerance:
+            failures.append(
+                f"{name}: {cur_ns:.0f} ns vs baseline {base_ns:.0f} ns "
+                f"({ratio:.2f}x > {tolerance:.2f}x)")
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+",
+                        help="google-benchmark JSON files")
+    parser.add_argument("--out", required=True,
+                        help="normalized report to write (BENCH_<sha>.json)")
+    parser.add_argument("--sha", default="unknown",
+                        help="commit the measurements belong to")
+    parser.add_argument("--baseline", default=None,
+                        help="checked-in baseline to compare against")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("ACX_BENCH_TOLERANCE",
+                                                     "1.25")),
+                        help="failure threshold as a ratio (default 1.25, "
+                             "i.e. fail on >25%% slowdown; env "
+                             "ACX_BENCH_TOLERANCE overrides)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run instead of "
+                             "comparing")
+    args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        raise SystemExit("bench_report: --tolerance must be > 1.0")
+
+    current = load_runs(args.inputs)
+    report = {"sha": args.sha, "tolerance": args.tolerance,
+              "benchmarks": current}
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench_report: wrote {args.out} ({len(current)} benchmarks)")
+
+    if args.baseline is None:
+        return 0
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump({"benchmarks": current}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench_report: baseline {args.baseline} updated")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)["benchmarks"]
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        raise SystemExit(
+            f"bench_report: cannot read baseline {args.baseline}: {exc}")
+
+    failures = compare(current, baseline, args.tolerance)
+    for line in failures:
+        print(f"bench_report: REGRESSION {line}", file=sys.stderr)
+    if not failures:
+        print(f"bench_report: all {len(baseline)} baselined benchmarks "
+              f"within {args.tolerance:.2f}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

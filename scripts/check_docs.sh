@@ -40,13 +40,41 @@ done
 
 # 3. The report schema keys documented in docs/PIPELINE.md must still
 #    exist in the writer (catches a schema rename that forgets the doc).
-for key in version total_seconds stage_totals counts records seconds; do
+for key in version total_seconds stage_totals stage_shares counts records \
+           seconds outputs; do
   if ! grep -q "\"$key\"" src/pipeline/report.cpp; then
     echo "docs-rot: docs/PIPELINE.md documents run-report key '$key'" \
          "but src/pipeline/report.cpp no longer emits it" >&2
     fail=1
   fi
 done
+
+# 4. The format magics documented in docs/FORMATS.md must match the
+#    headers that define them.
+for pair in "ACX-V1:src/formats/v1.hpp" "ACX-V2:src/formats/v2.hpp" \
+            "ACX-F:src/formats/spectra.hpp" "ACX-R:src/formats/spectra.hpp"; do
+  magic=${pair%%:*}; header=${pair#*:}
+  if ! grep -q "$magic" docs/FORMATS.md; then
+    echo "docs-rot: docs/FORMATS.md no longer documents magic '$magic'" >&2
+    fail=1
+  fi
+  if ! grep -q "\"$magic\"" "$header"; then
+    echo "docs-rot: docs/FORMATS.md documents magic '$magic' but $header" \
+         "does not define it" >&2
+    fail=1
+  fi
+done
+
+# 5. Every spectrum error slug named in docs/SPECTRUM.md must exist in
+#    the taxonomy (and so stay a legal spectrum.<slug> reason).
+while IFS= read -r slug; do
+  [ -z "$slug" ] && continue
+  if ! grep -q "\"${slug#spectrum.}\"" src/spectrum/error.hpp; then
+    echo "docs-rot: docs/SPECTRUM.md names reason '$slug' but" \
+         "src/spectrum/error.hpp has no such slug" >&2
+    fail=1
+  fi
+done < <(grep -oE '\bspectrum\.[a-z_]+\b' docs/SPECTRUM.md | sort -u)
 
 if [ "$fail" -ne 0 ]; then
   echo "docs-rot check FAILED" >&2

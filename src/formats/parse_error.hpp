@@ -5,7 +5,8 @@
 
 namespace acx::formats {
 
-// Typed parse diagnostics for the strict V1/V2 readers. Every rejection
+// Typed parse diagnostics for the strict format readers (V1/V2 records,
+// F/R spectra). Every rejection
 // carries the code, the byte offset and 1-based line where the reader
 // stopped, and a human-readable detail. Parse errors are always poison:
 // re-reading the same bytes cannot succeed.
@@ -28,6 +29,7 @@ struct ParseError {
     kExcessData,
     kMissingEndMarker,
     kTrailingGarbage,
+    kBadValue,
   };
 
   Code code{};
@@ -60,6 +62,7 @@ inline const char* slug(ParseError::Code c) {
     case ParseError::Code::kExcessData: return "excess_data";
     case ParseError::Code::kMissingEndMarker: return "missing_end_marker";
     case ParseError::Code::kTrailingGarbage: return "trailing_garbage";
+    case ParseError::Code::kBadValue: return "bad_value";
   }
   return "unknown";
 }

@@ -1,8 +1,8 @@
-#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <string_view>
 
+#include "formats/scan.hpp"
 #include "formats/v1.hpp"
 #include "formats/v2.hpp"
 
@@ -11,74 +11,11 @@ namespace acx::formats {
 namespace {
 
 using Code = ParseError::Code;
-
-ParseError err(Code code, std::size_t offset, std::size_t line,
-               std::string detail) {
-  return ParseError{code, offset, line, std::move(detail)};
-}
-
-bool parse_full_double(std::string_view s, double& out) {
-  // Leading spaces are the fixed-column padding; interior junk is not.
-  std::size_t i = 0;
-  while (i < s.size() && s[i] == ' ') ++i;
-  s.remove_prefix(i);
-  if (s.empty()) return false;
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && ptr == s.data() + s.size();
-}
-
-bool parse_full_long(std::string_view s, long& out) {
-  if (s.empty()) return false;
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && ptr == s.data() + s.size();
-}
-
-bool is_ident(std::string_view s) {
-  if (s.empty()) return false;
-  for (const char c : s) {
-    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-          (c >= '0' && c <= '9') || c == '_' || c == '-')) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool is_date(std::string_view s) {
-  if (s.size() != 10) return false;
-  for (std::size_t i = 0; i < 10; ++i) {
-    if (i == 4 || i == 7) {
-      if (s[i] != '-') return false;
-    } else if (s[i] < '0' || s[i] > '9') {
-      return false;
-    }
-  }
-  return true;
-}
-
-// Pulls lines out of the buffer, tracking byte offsets and 1-based line
-// numbers for diagnostics.
-struct LineReader {
-  std::string_view text;
-  std::size_t pos = 0;
-  std::size_t line_no = 0;      // line number of the last returned line
-  std::size_t line_start = 0;   // byte offset of the last returned line
-
-  bool next(std::string_view& out) {
-    if (pos >= text.size()) return false;
-    line_start = pos;
-    ++line_no;
-    const std::size_t nl = text.find('\n', pos);
-    if (nl == std::string_view::npos) {
-      out = text.substr(pos);
-      pos = text.size();
-    } else {
-      out = text.substr(pos, nl - pos);
-      pos = nl + 1;
-    }
-    return true;
-  }
-};
+using scan::err;
+using scan::is_date;
+using scan::is_ident;
+using scan::parse_full_double;
+using scan::parse_full_long;
 
 struct ParsedRecord {
   Record record;
@@ -102,50 +39,19 @@ bool parse_peak_entry(std::string_view s, PeakEntry& out) {
   return true;
 }
 
-constexpr long kMaxNpts = 100'000'000;
-
 Result<ParsedRecord, ParseError> read_record(std::string_view content,
                                              std::string_view magic,
                                              bool is_v2) {
   if (content.empty()) return err(Code::kEmptyFile, 0, 0, "file is empty");
 
-  // Byte-level pre-scan: the formats are pure ASCII with LF endings, so
-  // binary corruption and CRLF conversions are caught with an exact
-  // offset before any structural parsing.
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const unsigned char c = static_cast<unsigned char>(content[i]);
-    if (c == '\r') {
-      return err(Code::kCrlfLineEnding, i, 0,
-                 "carriage return: file has CRLF (or stray CR) line endings");
-    }
-    if (c != '\n' && c != '\t' && (c < 0x20 || c > 0x7e)) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "0x%02x", c);
-      return err(Code::kNonAsciiByte, i, 0,
-                 std::string("byte ") + buf + " outside printable ASCII");
-    }
-  }
+  auto ascii = scan::check_ascii(content);
+  if (!ascii.ok()) return std::move(ascii).take_error();
 
-  LineReader lines{content};
+  scan::LineReader lines{content};
   std::string_view line;
 
-  // Magic + version.
-  if (!lines.next(line)) return err(Code::kEmptyFile, 0, 0, "file is empty");
-  {
-    const std::size_t sp = line.find(' ');
-    const std::string_view file_magic = line.substr(0, sp);
-    if (file_magic != magic) {
-      return err(Code::kBadMagic, lines.line_start, lines.line_no,
-                 "expected '" + std::string(magic) + "', got '" +
-                     std::string(file_magic) + "'");
-    }
-    const std::string_view version =
-        sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
-    if (version != "1") {
-      return err(Code::kUnsupportedVersion, lines.line_start, lines.line_no,
-                 "unsupported version '" + std::string(version) + "'");
-    }
-  }
+  auto magic_ok = scan::read_magic(lines, magic);
+  if (!magic_ok.ok()) return std::move(magic_ok).take_error();
 
   // Header fields until the DATA marker.
   ParsedRecord out;
@@ -241,9 +147,9 @@ Result<ParsedRecord, ParseError> read_record(std::string_view content,
       }
       case kNpts: {
         long n = 0;
-        if (!parse_full_long(val, n) || n <= 0 || n > kMaxNpts) {
+        if (!parse_full_long(val, n) || n <= 0 || n > scan::kMaxNpts) {
           return err(Code::kBadHeaderField, off, ln,
-                     "NPTS must be in [1, " + std::to_string(kMaxNpts) +
+                     "NPTS must be in [1, " + std::to_string(scan::kMaxNpts) +
                          "]; got '" + std::string(val) + "'");
         }
         h.npts = n;
@@ -317,72 +223,9 @@ Result<ParsedRecord, ParseError> read_record(std::string_view content,
   }
   out.peaks.present = peaks_seen == 3;
 
-  // Fixed-column data block.
-  out.record.samples.reserve(static_cast<std::size_t>(h.npts));
-  long remaining = h.npts;
-  while (remaining > 0) {
-    if (!lines.next(line)) {
-      return err(Code::kShortDataBlock, content.size(), lines.line_no,
-                 "EOF with " + std::to_string(remaining) +
-                     " of " + std::to_string(h.npts) + " samples missing");
-    }
-    if (line == "END") {
-      return err(Code::kShortDataBlock, lines.line_start, lines.line_no,
-                 "END with " + std::to_string(remaining) +
-                     " of " + std::to_string(h.npts) + " samples missing");
-    }
-    const long cells = std::min<long>(kValuesPerLine, remaining);
-    const std::size_t expected_len =
-        static_cast<std::size_t>(cells) * kColumnWidth;
-    if (line.size() != expected_len) {
-      return err(Code::kBadColumnWidth, lines.line_start, lines.line_no,
-                 "data line is " + std::to_string(line.size()) +
-                     " chars, expected " + std::to_string(expected_len) +
-                     " (" + std::to_string(cells) + " cells of " +
-                     std::to_string(kColumnWidth) + ")");
-    }
-    for (long c = 0; c < cells; ++c) {
-      const std::size_t cell_off =
-          static_cast<std::size_t>(c) * kColumnWidth;
-      const std::string_view cell = line.substr(cell_off, kColumnWidth);
-      double v = 0;
-      if (!parse_full_double(cell, v)) {
-        return err(Code::kMalformedNumber, lines.line_start + cell_off,
-                   lines.line_no,
-                   "cell '" + std::string(cell) + "' is not a number");
-      }
-      if (!std::isfinite(v)) {
-        return err(Code::kNonFiniteSample, lines.line_start + cell_off,
-                   lines.line_no, "sample is " + std::string(cell));
-      }
-      out.record.samples.push_back(v);
-    }
-    remaining -= cells;
-  }
-
-  // END trailer, then nothing but blank lines.
-  if (!lines.next(line)) {
-    return err(Code::kMissingEndMarker, content.size(), lines.line_no,
-               "EOF before END marker");
-  }
-  if (line != "END") {
-    double probe = 0;
-    const bool looks_like_data =
-        line.size() >= kColumnWidth && line.size() % kColumnWidth == 0 &&
-        parse_full_double(line.substr(0, kColumnWidth), probe);
-    if (looks_like_data) {
-      return err(Code::kExcessData, lines.line_start, lines.line_no,
-                 "data past the declared NPTS=" + std::to_string(h.npts));
-    }
-    return err(Code::kMissingEndMarker, lines.line_start, lines.line_no,
-               "expected END, got '" + std::string(line) + "'");
-  }
-  while (lines.next(line)) {
-    if (!line.empty()) {
-      return err(Code::kTrailingGarbage, lines.line_start, lines.line_no,
-                 "content after END marker");
-    }
-  }
+  auto samples = scan::read_data_block(lines, h.npts, content.size());
+  if (!samples.ok()) return std::move(samples).take_error();
+  out.record.samples = std::move(samples).take();
 
   return out;
 }
@@ -431,13 +274,7 @@ void write_common(std::string& out, std::string_view magic,
       out += '\n';
     }
   }
-  out += "DATA\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    std::snprintf(buf, sizeof buf, "%*.*e", kColumnWidth, 4, samples[i]);
-    out += buf;
-    if ((i + 1) % kValuesPerLine == 0 || i + 1 == samples.size()) out += '\n';
-  }
-  out += "END\n";
+  scan::append_data_block(out, samples);
 }
 
 }  // namespace

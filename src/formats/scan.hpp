@@ -1,0 +1,229 @@
+#pragma once
+
+// Shared scanning machinery of the strict text-format readers (V1/V2 in
+// record_io.cpp, F/R in spectra_io.cpp): line extraction with byte
+// offsets, full-token numeric parsing, the ASCII/LF pre-scan, and the
+// fixed-column data block (docs/FORMATS.md). Header-only so each reader
+// keeps its own field grammar while sharing the byte-level contract.
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/parse_error.hpp"
+#include "formats/record.hpp"
+#include "util/result.hpp"
+
+namespace acx::formats::scan {
+
+inline ParseError err(ParseError::Code code, std::size_t offset,
+                      std::size_t line, std::string detail) {
+  return ParseError{code, offset, line, std::move(detail)};
+}
+
+inline bool parse_full_double(std::string_view s, double& out) {
+  // Leading spaces are the fixed-column padding; interior junk is not.
+  std::size_t i = 0;
+  while (i < s.size() && s[i] == ' ') ++i;
+  s.remove_prefix(i);
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+inline bool parse_full_long(std::string_view s, long& out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+inline bool is_ident(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+          (c >= '0' && c <= '9') || c == '_' || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool is_date(std::string_view s) {
+  if (s.size() != 10) return false;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i == 4 || i == 7) {
+      if (s[i] != '-') return false;
+    } else if (s[i] < '0' || s[i] > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Pulls lines out of the buffer, tracking byte offsets and 1-based line
+// numbers for diagnostics.
+struct LineReader {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;     // line number of the last returned line
+  std::size_t line_start = 0;  // byte offset of the last returned line
+
+  bool next(std::string_view& out) {
+    if (pos >= text.size()) return false;
+    line_start = pos;
+    ++line_no;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      out = text.substr(pos);
+      pos = text.size();
+    } else {
+      out = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    return true;
+  }
+};
+
+// Byte-level pre-scan: the formats are pure ASCII with LF endings, so
+// binary corruption and CRLF conversions are caught with an exact
+// offset before any structural parsing.
+inline Result<Unit, ParseError> check_ascii(std::string_view content) {
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(content[i]);
+    if (c == '\r') {
+      return err(ParseError::Code::kCrlfLineEnding, i, 0,
+                 "carriage return: file has CRLF (or stray CR) line endings");
+    }
+    if (c != '\n' && c != '\t' && (c < 0x20 || c > 0x7e)) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "0x%02x", c);
+      return err(ParseError::Code::kNonAsciiByte, i, 0,
+                 std::string("byte ") + buf + " outside printable ASCII");
+    }
+  }
+  return Unit{};
+}
+
+// First line: "<magic> <version>", version must be "1".
+inline Result<Unit, ParseError> read_magic(LineReader& lines,
+                                           std::string_view magic) {
+  std::string_view line;
+  if (!lines.next(line)) {
+    return err(ParseError::Code::kEmptyFile, 0, 0, "file is empty");
+  }
+  const std::size_t sp = line.find(' ');
+  const std::string_view file_magic = line.substr(0, sp);
+  if (file_magic != magic) {
+    return err(ParseError::Code::kBadMagic, lines.line_start, lines.line_no,
+               "expected '" + std::string(magic) + "', got '" +
+                   std::string(file_magic) + "'");
+  }
+  const std::string_view version =
+      sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+  if (version != "1") {
+    return err(ParseError::Code::kUnsupportedVersion, lines.line_start,
+               lines.line_no,
+               "unsupported version '" + std::string(version) + "'");
+  }
+  return Unit{};
+}
+
+// Fixed-column data block after the DATA marker: `npts` cells of
+// exactly kColumnWidth characters, kValuesPerLine per full line, every
+// cell a finite number, then the END trailer and nothing but blank
+// lines. Shared verbatim by every format that carries a data block.
+inline Result<std::vector<double>, ParseError> read_data_block(
+    LineReader& lines, long npts, std::size_t content_size) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(npts));
+  std::string_view line;
+  long remaining = npts;
+  while (remaining > 0) {
+    if (!lines.next(line)) {
+      return err(ParseError::Code::kShortDataBlock, content_size,
+                 lines.line_no,
+                 "EOF with " + std::to_string(remaining) + " of " +
+                     std::to_string(npts) + " samples missing");
+    }
+    if (line == "END") {
+      return err(ParseError::Code::kShortDataBlock, lines.line_start,
+                 lines.line_no,
+                 "END with " + std::to_string(remaining) + " of " +
+                     std::to_string(npts) + " samples missing");
+    }
+    const long cells = std::min<long>(kValuesPerLine, remaining);
+    const std::size_t expected_len =
+        static_cast<std::size_t>(cells) * kColumnWidth;
+    if (line.size() != expected_len) {
+      return err(ParseError::Code::kBadColumnWidth, lines.line_start,
+                 lines.line_no,
+                 "data line is " + std::to_string(line.size()) +
+                     " chars, expected " + std::to_string(expected_len) +
+                     " (" + std::to_string(cells) + " cells of " +
+                     std::to_string(kColumnWidth) + ")");
+    }
+    for (long c = 0; c < cells; ++c) {
+      const std::size_t cell_off = static_cast<std::size_t>(c) * kColumnWidth;
+      const std::string_view cell = line.substr(cell_off, kColumnWidth);
+      double v = 0;
+      if (!parse_full_double(cell, v)) {
+        return err(ParseError::Code::kMalformedNumber,
+                   lines.line_start + cell_off, lines.line_no,
+                   "cell '" + std::string(cell) + "' is not a number");
+      }
+      if (!std::isfinite(v)) {
+        return err(ParseError::Code::kNonFiniteSample,
+                   lines.line_start + cell_off, lines.line_no,
+                   "sample is " + std::string(cell));
+      }
+      samples.push_back(v);
+    }
+    remaining -= cells;
+  }
+
+  // END trailer, then nothing but blank lines.
+  if (!lines.next(line)) {
+    return err(ParseError::Code::kMissingEndMarker, content_size,
+               lines.line_no, "EOF before END marker");
+  }
+  if (line != "END") {
+    double probe = 0;
+    const bool looks_like_data =
+        line.size() >= kColumnWidth && line.size() % kColumnWidth == 0 &&
+        parse_full_double(line.substr(0, kColumnWidth), probe);
+    if (looks_like_data) {
+      return err(ParseError::Code::kExcessData, lines.line_start,
+                 lines.line_no,
+                 "data past the declared NPTS=" + std::to_string(npts));
+    }
+    return err(ParseError::Code::kMissingEndMarker, lines.line_start,
+               lines.line_no, "expected END, got '" + std::string(line) + "'");
+  }
+  while (lines.next(line)) {
+    if (!line.empty()) {
+      return err(ParseError::Code::kTrailingGarbage, lines.line_start,
+                 lines.line_no, "content after END marker");
+    }
+  }
+  return samples;
+}
+
+// The writer side of the same block (everything from DATA to END).
+inline void append_data_block(std::string& out,
+                              const std::vector<double>& samples) {
+  out += "DATA\n";
+  char buf[32];
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%*.*e", kColumnWidth, 4, samples[i]);
+    out += buf;
+    if ((i + 1) % kValuesPerLine == 0 || i + 1 == samples.size()) out += '\n';
+  }
+  out += "END\n";
+}
+
+inline constexpr long kMaxNpts = 100'000'000;
+
+}  // namespace acx::formats::scan

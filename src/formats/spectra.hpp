@@ -1,0 +1,69 @@
+#pragma once
+
+// The two spectral output formats (docs/FORMATS.md):
+//   F — Fourier amplitude spectrum of the corrected acceleration, with
+//       the FPL/FSL corners the V2 band-pass used (when the search
+//       succeeded).
+//   R — response spectra SD/SV/SA over the (period, damping) grid.
+// Both reuse the V1/V2 skeleton: "<MAGIC> 1" line, "KEY value" header,
+// fixed-column DATA block, END trailer, strict ASCII/LF.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/parse_error.hpp"
+#include "formats/record.hpp"
+#include "util/result.hpp"
+
+namespace acx::formats {
+
+inline constexpr std::string_view kFMagic = "ACX-F";
+inline constexpr std::string_view kFExtension = ".f";
+inline constexpr std::string_view kRMagic = "ACX-R";
+inline constexpr std::string_view kRExtension = ".r";
+
+// Fourier amplitude spectrum of one corrected component. The header
+// block reuses RecordHeader with spectral semantics: `dt` is the
+// time-domain sampling interval of the source record, `npts` counts
+// frequency bins (= nfft/2 + 1), `units` is "cm/s" (the FAS of a
+// cm/s2 record under the dt*|X[k]| convention, docs/SPECTRUM.md).
+// Bin k sits at frequency k * df; the strict reader enforces
+// df == 1 / (nfft * dt) to 1e-6 relative.
+struct FRecord {
+  RecordHeader header;
+  double df = 0.0;      // bin spacing, Hz
+  long nfft = 0;        // transform length (even, >= 2)
+  std::string window;   // "none", "hann" or "hamming"
+  bool has_corners = false;  // FPL/FSL pair is all-or-nothing
+  double fsl_hz = 0.0;  // long-period corner (low frequency)
+  double fpl_hz = 0.0;  // short-period corner (high frequency)
+  std::vector<double> amplitude;  // npts bins, finite and >= 0
+};
+
+Result<FRecord, ParseError> read_f(std::string_view content);
+
+std::string write_f(const FRecord& record);
+
+// Response spectra of one corrected component. `header.dt` is the
+// source record's sampling interval; `header.npts` counts periods;
+// there is no UNITS line (the block mixes cm, cm/s and cm/s2). The
+// data block holds periods[NPERIODS] followed, for each damping in
+// header order, by SD[NPERIODS], SV[NPERIODS], SA[NPERIODS] — the same
+// damping-major layout as spectrum::ResponseSpectrum.
+struct RRecord {
+  RecordHeader header;            // units empty; npts = periods.size()
+  std::vector<double> dampings;   // DAMPINGS header, ascending in [0, 1)
+  std::vector<double> periods;    // strictly ascending, positive
+  std::vector<double> sd, sv, sa; // dampings.size() * periods.size()
+
+  std::size_t index(std::size_t d, std::size_t p) const {
+    return d * periods.size() + p;
+  }
+};
+
+Result<RRecord, ParseError> read_r(std::string_view content);
+
+std::string write_r(const RRecord& record);
+
+}  // namespace acx::formats

@@ -1,0 +1,453 @@
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "formats/scan.hpp"
+#include "formats/spectra.hpp"
+
+namespace acx::formats {
+
+namespace {
+
+using Code = ParseError::Code;
+using scan::err;
+using scan::is_date;
+using scan::is_ident;
+using scan::parse_full_double;
+using scan::parse_full_long;
+
+bool parse_header_double(std::string_view val, double& out) {
+  return parse_full_double(val, out) && std::isfinite(out);
+}
+
+// The shared STATION/COMPONENT/EVENT/DATE/DT fields; returns false with
+// `error` set when the value is rejected.
+bool set_common_field(RecordHeader& h, int field, std::string_view val,
+                      std::size_t off, std::size_t ln, ParseError& error) {
+  switch (field) {
+    case 0:
+      if (!is_ident(val)) {
+        error = err(Code::kBadHeaderField, off, ln,
+                    "STATION must be a non-empty identifier");
+        return false;
+      }
+      h.station = std::string(val);
+      return true;
+    case 1:
+      if (val != "l" && val != "t" && val != "v") {
+        error = err(Code::kBadHeaderField, off, ln,
+                    "COMPONENT must be one of l, t, v; got '" +
+                        std::string(val) + "'");
+        return false;
+      }
+      h.component = std::string(val);
+      return true;
+    case 2:
+      if (!is_ident(val)) {
+        error = err(Code::kBadHeaderField, off, ln,
+                    "EVENT must be a non-empty identifier");
+        return false;
+      }
+      h.event_id = std::string(val);
+      return true;
+    case 3:
+      if (!is_date(val)) {
+        error = err(Code::kBadHeaderField, off, ln,
+                    "DATE must be yyyy-mm-dd; got '" + std::string(val) + "'");
+        return false;
+      }
+      h.date = std::string(val);
+      return true;
+    case 4: {
+      double dt = 0;
+      if (!parse_header_double(val, dt) || dt <= 0) {
+        error = err(Code::kBadHeaderField, off, ln,
+                    "DT must be a finite positive number; got '" +
+                        std::string(val) + "'");
+        return false;
+      }
+      h.dt = dt;
+      return true;
+    }
+  }
+  error = err(Code::kBadHeaderField, off, ln, "internal: unknown field");
+  return false;
+}
+
+void append_common_header(std::string& out, std::string_view magic,
+                          const RecordHeader& h) {
+  out += magic;
+  out += " 1\n";
+  out += "STATION " + h.station + "\n";
+  out += "COMPONENT " + h.component + "\n";
+  out += "EVENT " + h.event_id + "\n";
+  out += "DATE " + h.date + "\n";
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "DT %.6e\n", h.dt);
+  out += buf;
+}
+
+}  // namespace
+
+Result<FRecord, ParseError> read_f(std::string_view content) {
+  if (content.empty()) return err(Code::kEmptyFile, 0, 0, "file is empty");
+  auto ascii = scan::check_ascii(content);
+  if (!ascii.ok()) return std::move(ascii).take_error();
+
+  scan::LineReader lines{content};
+  auto magic_ok = scan::read_magic(lines, kFMagic);
+  if (!magic_ok.ok()) return std::move(magic_ok).take_error();
+
+  FRecord out;
+  RecordHeader& h = out.header;
+  enum Field {
+    kStation, kComponent, kEvent, kDate, kDt, kNpts, kUnits, kDf, kNfft,
+    kWindow, kFsl, kFpl
+  };
+  static constexpr const char* kFieldNames[] = {
+      "STATION", "COMPONENT", "EVENT", "DATE", "DT", "NPTS", "UNITS",
+      "DF", "NFFT", "WINDOW", "FSL", "FPL"};
+  constexpr int kFieldCount = 12;
+  bool seen[kFieldCount] = {};
+  bool saw_data_marker = false;
+
+  std::string_view line;
+  while (lines.next(line)) {
+    if (line == "DATA") {
+      saw_data_marker = true;
+      break;
+    }
+    const std::size_t sp = line.find(' ');
+    const std::string_view key = line.substr(0, sp);
+    const std::string_view val =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+    const std::size_t off = lines.line_start;
+    const std::size_t ln = lines.line_no;
+
+    int field = -1;
+    for (int f = 0; f < kFieldCount; ++f) {
+      if (key == kFieldNames[f]) {
+        field = f;
+        break;
+      }
+    }
+    if (field < 0) {
+      return err(Code::kBadHeaderField, off, ln,
+                 "unknown header field '" + std::string(key) + "'");
+    }
+    if (seen[field]) {
+      return err(Code::kDuplicateHeaderField, off, ln,
+                 "duplicate header field '" + std::string(key) + "'");
+    }
+    seen[field] = true;
+
+    switch (field) {
+      case kStation: case kComponent: case kEvent: case kDate: case kDt: {
+        ParseError e;
+        if (!set_common_field(h, field, val, off, ln, e)) return e;
+        break;
+      }
+      case kNpts: {
+        long n = 0;
+        if (!parse_full_long(val, n) || n <= 0 || n > scan::kMaxNpts) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "NPTS must be in [1, " + std::to_string(scan::kMaxNpts) +
+                         "]; got '" + std::string(val) + "'");
+        }
+        h.npts = n;
+        break;
+      }
+      case kUnits:
+        if (val != "cm/s") {
+          return err(Code::kBadUnits, off, ln,
+                     "F spectra are in cm/s; got '" + std::string(val) + "'");
+        }
+        h.units = std::string(val);
+        break;
+      case kDf: {
+        double df = 0;
+        if (!parse_header_double(val, df) || df <= 0) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "DF must be a finite positive number; got '" +
+                         std::string(val) + "'");
+        }
+        out.df = df;
+        break;
+      }
+      case kNfft: {
+        long n = 0;
+        if (!parse_full_long(val, n) || n < 2 || n % 2 != 0 ||
+            n > scan::kMaxNpts) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "NFFT must be an even integer in [2, " +
+                         std::to_string(scan::kMaxNpts) + "]; got '" +
+                         std::string(val) + "'");
+        }
+        out.nfft = n;
+        break;
+      }
+      case kWindow:
+        if (val != "none" && val != "hann" && val != "hamming") {
+          return err(Code::kBadHeaderField, off, ln,
+                     "WINDOW must be none, hann or hamming; got '" +
+                         std::string(val) + "'");
+        }
+        out.window = std::string(val);
+        break;
+      case kFsl: case kFpl: {
+        double v = 0;
+        if (!parse_header_double(val, v) || v <= 0) {
+          return err(Code::kBadHeaderField, off, ln,
+                     std::string(kFieldNames[field]) +
+                         " must be a finite positive number; got '" +
+                         std::string(val) + "'");
+        }
+        (field == kFsl ? out.fsl_hz : out.fpl_hz) = v;
+        break;
+      }
+    }
+  }
+
+  if (!saw_data_marker) {
+    return err(Code::kMissingDataMarker, content.size(), lines.line_no,
+               "no DATA marker before end of file");
+  }
+  for (int f = 0; f <= kWindow; ++f) {
+    if (!seen[f]) {
+      return err(Code::kMissingHeaderField, lines.line_start, lines.line_no,
+                 std::string("missing header field ") + kFieldNames[f]);
+    }
+  }
+  // The corner pair is optional but all-or-nothing, like the V2 peaks.
+  if (seen[kFsl] != seen[kFpl]) {
+    return err(Code::kMissingHeaderField, lines.line_start, lines.line_no,
+               "corner block is partial: FSL and FPL must appear together");
+  }
+  out.has_corners = seen[kFsl];
+  if (out.has_corners && !(out.fsl_hz < out.fpl_hz)) {
+    return err(Code::kBadValue, lines.line_start, lines.line_no,
+               "corners are degenerate: FSL must be below FPL");
+  }
+
+  // Geometry cross-checks tie the header fields to each other.
+  if (h.npts != out.nfft / 2 + 1) {
+    return err(Code::kBadValue, lines.line_start, lines.line_no,
+               "NPTS must equal NFFT/2 + 1 = " +
+                   std::to_string(out.nfft / 2 + 1) + "; got " +
+                   std::to_string(h.npts));
+  }
+  const double expected_df = 1.0 / (static_cast<double>(out.nfft) * h.dt);
+  if (std::fabs(out.df - expected_df) > 1e-6 * expected_df) {
+    return err(Code::kBadValue, lines.line_start, lines.line_no,
+               "DF disagrees with 1 / (NFFT * DT)");
+  }
+
+  auto block = scan::read_data_block(lines, h.npts, content.size());
+  if (!block.ok()) return std::move(block).take_error();
+  out.amplitude = std::move(block).take();
+  for (std::size_t i = 0; i < out.amplitude.size(); ++i) {
+    if (out.amplitude[i] < 0) {
+      return err(Code::kBadValue, 0, 0,
+                 "amplitude bin " + std::to_string(i) + " is negative");
+    }
+  }
+  return out;
+}
+
+std::string write_f(const FRecord& record) {
+  std::string out;
+  append_common_header(out, kFMagic, record.header);
+  char buf[80];
+  out += "NPTS " + std::to_string(record.header.npts) + "\n";
+  out += "UNITS " + record.header.units + "\n";
+  std::snprintf(buf, sizeof buf, "DF %.9e\n", record.df);
+  out += buf;
+  out += "NFFT " + std::to_string(record.nfft) + "\n";
+  out += "WINDOW " + record.window + "\n";
+  if (record.has_corners) {
+    // %.9e survives the docs/SPECTRUM.md 1e-6 relative contract.
+    std::snprintf(buf, sizeof buf, "FSL %.9e\n", record.fsl_hz);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "FPL %.9e\n", record.fpl_hz);
+    out += buf;
+  }
+  scan::append_data_block(out, record.amplitude);
+  return out;
+}
+
+Result<RRecord, ParseError> read_r(std::string_view content) {
+  if (content.empty()) return err(Code::kEmptyFile, 0, 0, "file is empty");
+  auto ascii = scan::check_ascii(content);
+  if (!ascii.ok()) return std::move(ascii).take_error();
+
+  scan::LineReader lines{content};
+  auto magic_ok = scan::read_magic(lines, kRMagic);
+  if (!magic_ok.ok()) return std::move(magic_ok).take_error();
+
+  RRecord out;
+  RecordHeader& h = out.header;
+  enum Field { kStation, kComponent, kEvent, kDate, kDt, kNperiods, kDampings };
+  static constexpr const char* kFieldNames[] = {
+      "STATION", "COMPONENT", "EVENT", "DATE", "DT", "NPERIODS", "DAMPINGS"};
+  constexpr int kFieldCount = 7;
+  bool seen[kFieldCount] = {};
+  bool saw_data_marker = false;
+
+  std::string_view line;
+  while (lines.next(line)) {
+    if (line == "DATA") {
+      saw_data_marker = true;
+      break;
+    }
+    const std::size_t sp = line.find(' ');
+    const std::string_view key = line.substr(0, sp);
+    const std::string_view val =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+    const std::size_t off = lines.line_start;
+    const std::size_t ln = lines.line_no;
+
+    int field = -1;
+    for (int f = 0; f < kFieldCount; ++f) {
+      if (key == kFieldNames[f]) {
+        field = f;
+        break;
+      }
+    }
+    if (field < 0) {
+      return err(Code::kBadHeaderField, off, ln,
+                 "unknown header field '" + std::string(key) + "'");
+    }
+    if (seen[field]) {
+      return err(Code::kDuplicateHeaderField, off, ln,
+                 "duplicate header field '" + std::string(key) + "'");
+    }
+    seen[field] = true;
+
+    switch (field) {
+      case kStation: case kComponent: case kEvent: case kDate: case kDt: {
+        ParseError e;
+        if (!set_common_field(h, field, val, off, ln, e)) return e;
+        break;
+      }
+      case kNperiods: {
+        long n = 0;
+        if (!parse_full_long(val, n) || n <= 0 || n > scan::kMaxNpts) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "NPERIODS must be in [1, " +
+                         std::to_string(scan::kMaxNpts) + "]; got '" +
+                         std::string(val) + "'");
+        }
+        h.npts = n;
+        break;
+      }
+      case kDampings: {
+        std::string_view rest = val;
+        while (!rest.empty()) {
+          const std::size_t comma = rest.find(',');
+          const std::string_view tok = rest.substr(0, comma);
+          double z = 0;
+          if (!parse_header_double(tok, z) || z < 0 || z >= 1) {
+            return err(Code::kBadHeaderField, off, ln,
+                       "DAMPINGS must be a comma-separated list of ratios in "
+                       "[0, 1); got '" +
+                           std::string(tok) + "'");
+          }
+          if (!out.dampings.empty() && z <= out.dampings.back()) {
+            return err(Code::kBadHeaderField, off, ln,
+                       "DAMPINGS must be strictly ascending");
+          }
+          out.dampings.push_back(z);
+          rest = comma == std::string_view::npos ? std::string_view{}
+                                                 : rest.substr(comma + 1);
+        }
+        if (out.dampings.empty()) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "DAMPINGS must name at least one ratio");
+        }
+        break;
+      }
+    }
+  }
+
+  if (!saw_data_marker) {
+    return err(Code::kMissingDataMarker, content.size(), lines.line_no,
+               "no DATA marker before end of file");
+  }
+  for (int f = 0; f < kFieldCount; ++f) {
+    if (!seen[f]) {
+      return err(Code::kMissingHeaderField, lines.line_start, lines.line_no,
+                 std::string("missing header field ") + kFieldNames[f]);
+    }
+  }
+
+  // One flat block: periods, then SD/SV/SA per damping, damping-major.
+  const long nper = h.npts;
+  const long ndamp = static_cast<long>(out.dampings.size());
+  const long total = nper * (1 + 3 * ndamp);
+  auto block = scan::read_data_block(lines, total, content.size());
+  if (!block.ok()) return std::move(block).take_error();
+  std::vector<double> flat = std::move(block).take();
+
+  const std::size_t np = static_cast<std::size_t>(nper);
+  out.periods.assign(flat.begin(), flat.begin() + nper);
+  for (std::size_t i = 0; i < np; ++i) {
+    if (out.periods[i] <= 0) {
+      return err(Code::kBadValue, 0, 0,
+                 "period " + std::to_string(i) + " is not positive");
+    }
+    if (i > 0 && out.periods[i] <= out.periods[i - 1]) {
+      return err(Code::kBadValue, 0, 0,
+                 "periods must be strictly ascending (index " +
+                     std::to_string(i) + ")");
+    }
+  }
+  const std::size_t cells = np * static_cast<std::size_t>(ndamp);
+  out.sd.resize(cells);
+  out.sv.resize(cells);
+  out.sa.resize(cells);
+  std::size_t cursor = np;
+  for (long d = 0; d < ndamp; ++d) {
+    const std::size_t base = static_cast<std::size_t>(d) * np;
+    for (std::vector<double>* dst : {&out.sd, &out.sv, &out.sa}) {
+      for (std::size_t p = 0; p < np; ++p) {
+        const double v = flat[cursor++];
+        if (v < 0) {
+          return err(Code::kBadValue, 0, 0,
+                     "spectral value at damping " + std::to_string(d) +
+                         ", period " + std::to_string(p) + " is negative");
+        }
+        (*dst)[base + p] = v;
+      }
+    }
+  }
+  return out;
+}
+
+std::string write_r(const RRecord& record) {
+  std::string out;
+  append_common_header(out, kRMagic, record.header);
+  out += "NPERIODS " + std::to_string(record.header.npts) + "\n";
+  out += "DAMPINGS ";
+  char buf[32];
+  for (std::size_t i = 0; i < record.dampings.size(); ++i) {
+    if (i) out += ',';
+    std::snprintf(buf, sizeof buf, "%.6e", record.dampings[i]);
+    out += buf;
+  }
+  out += '\n';
+
+  std::vector<double> flat;
+  const std::size_t np = record.periods.size();
+  flat.reserve(np * (1 + 3 * record.dampings.size()));
+  flat.insert(flat.end(), record.periods.begin(), record.periods.end());
+  for (std::size_t d = 0; d < record.dampings.size(); ++d) {
+    const std::size_t base = d * np;
+    for (const std::vector<double>* src : {&record.sd, &record.sv, &record.sa}) {
+      flat.insert(flat.end(), src->begin() + base, src->begin() + base + np);
+    }
+  }
+  scan::append_data_block(out, flat);
+  return out;
+}
+
+}  // namespace acx::formats

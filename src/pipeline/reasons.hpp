@@ -1,0 +1,90 @@
+#pragma once
+
+// The single registry of legal quarantine reasons. Every reason that
+// can appear in run_report.json or a quarantine file name has the form
+//   [transient_exhausted.]<family>.<slug>
+// where <family>.<slug> is one of:
+//   parse.<slug>        — formats::ParseError      (strict readers)
+//   signal.<slug>       — signal::SignalError      (numerical kernels)
+//   spectrum.<slug>     — spectrum::SpectrumError  (spectral kernels)
+//   io.<slug>           — IoError                  (filesystem layer)
+//   stage_crash.<stage> — injected/observed crash of a named stage
+// The slug lists are generated from the enums via each family's slug()
+// function, so a new error code is registered the moment it exists;
+// tests/test_reasons.cpp pins the stage list to the actual chain.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "formats/parse_error.hpp"
+#include "signal/error.hpp"
+#include "spectrum/error.hpp"
+#include "util/error.hpp"
+
+namespace acx::pipeline {
+
+// Every stage the runner can execute, in chain order (scratch_setup is
+// the runner's own setup step, not a Stage subclass).
+inline constexpr const char* kStageNames[] = {
+    "scratch_setup", "stage_in", "parse",    "calibrate", "demean",
+    "corners",       "bandpass", "detrend",  "integrate", "peaks",
+    "fourier",       "response", "write_v2",
+};
+
+inline const std::vector<std::string>& registered_reasons() {
+  static const std::vector<std::string> reasons = [] {
+    std::vector<std::string> out;
+    using PC = formats::ParseError::Code;
+    for (PC c : {PC::kEmptyFile, PC::kNonAsciiByte, PC::kCrlfLineEnding,
+                 PC::kBadMagic, PC::kUnsupportedVersion,
+                 PC::kMissingHeaderField, PC::kBadHeaderField,
+                 PC::kDuplicateHeaderField, PC::kBadUnits,
+                 PC::kMissingDataMarker, PC::kBadColumnWidth,
+                 PC::kMalformedNumber, PC::kNonFiniteSample,
+                 PC::kShortDataBlock, PC::kExcessData, PC::kMissingEndMarker,
+                 PC::kTrailingGarbage, PC::kBadValue}) {
+      out.push_back(std::string("parse.") + formats::slug(c));
+    }
+    using SC = signal::SignalError::Code;
+    for (SC c : {SC::kEmptyInput, SC::kTooShort, SC::kNonFinite,
+                 SC::kBadSamplingInterval, SC::kBadCorners, SC::kBadTaps,
+                 SC::kBadDegree, SC::kBadUnits}) {
+      out.push_back(std::string("signal.") + signal::slug(c));
+    }
+    using XC = spectrum::SpectrumError::Code;
+    for (XC c : {XC::kEmptyInput, XC::kTooShort, XC::kNonFinite,
+                 XC::kBadSamplingInterval, XC::kBadWindow, XC::kBadPeriod,
+                 XC::kBadDamping, XC::kBadGrid, XC::kNoCorner}) {
+      out.push_back(std::string("spectrum.") + spectrum::slug(c));
+    }
+    using IC = IoError::Code;
+    for (IC c : {IC::kNotFound, IC::kOpenFailed, IC::kReadFailed,
+                 IC::kWriteFailed, IC::kRenameFailed, IC::kCreateDirFailed,
+                 IC::kRemoveFailed, IC::kListFailed, IC::kInjectedReadFault,
+                 IC::kInjectedWriteFault, IC::kInjectedRenameFault}) {
+      out.push_back(std::string("io.") + slug(c));
+    }
+    for (const char* stage : kStageNames) {
+      out.push_back(std::string("stage_crash.") + stage);
+    }
+    return out;
+  }();
+  return reasons;
+}
+
+// True when `reason` (optionally wrapped in "transient_exhausted.") is
+// in the registry. Used by the validator and the reason tests to reject
+// ad-hoc strings before they leak into reports or file names.
+inline bool is_registered_reason(std::string_view reason) {
+  constexpr std::string_view kExhausted = "transient_exhausted.";
+  if (reason.substr(0, kExhausted.size()) == kExhausted) {
+    reason.remove_prefix(kExhausted.size());
+  }
+  for (const std::string& r : registered_reasons()) {
+    if (reason == r) return true;
+  }
+  return false;
+}
+
+}  // namespace acx::pipeline

@@ -30,6 +30,18 @@ std::map<std::string, double> RunReport::stage_totals() const {
   return totals;
 }
 
+std::map<std::string, double> RunReport::stage_shares() const {
+  std::map<std::string, double> shares = stage_totals();
+  double sum = 0;
+  for (const auto& [stage, seconds] : shares) sum += seconds;
+  if (sum <= 0) {
+    for (auto& [stage, share] : shares) share = 0;
+    return shares;
+  }
+  for (auto& [stage, share] : shares) share /= sum;
+  return shares;
+}
+
 Json RunReport::to_json() const {
   Json root = Json::object();
   root.set("version", kVersion);
@@ -42,6 +54,12 @@ Json RunReport::to_json() const {
     totals.set(stage, seconds);
   }
   root.set("stage_totals", std::move(totals));
+
+  Json shares = Json::object();
+  for (const auto& [stage, share] : stage_shares()) {
+    shares.set(stage, share);
+  }
+  root.set("stage_shares", std::move(shares));
 
   Json counts = Json::object();
   counts.set("input", static_cast<int>(records.size()));
@@ -59,6 +77,9 @@ Json RunReport::to_json() const {
            r.status == RecordOutcome::Status::kOk ? "ok" : "quarantined");
     if (r.status == RecordOutcome::Status::kOk) {
       jr.set("output", r.output);
+      Json outs = Json::array();
+      for (const std::string& o : r.outputs) outs.push(Json(o));
+      jr.set("outputs", std::move(outs));
     } else {
       jr.set("reason", r.reason);
       jr.set("quarantine", r.quarantine);
@@ -122,6 +143,17 @@ Result<RunReport, std::string> RunReport::from_json_text(
       return "record '" + r.record + "' has bad status '" + status + "'";
     }
     r.output = jr.get_string("output");
+    if (const Json* outs = jr.find("outputs")) {
+      if (!outs->is_array()) {
+        return "record '" + r.record + "' outputs is not an array";
+      }
+      for (const Json& jo : outs->items()) {
+        if (!jo.is_string()) {
+          return "record '" + r.record + "' outputs entry is not a string";
+        }
+        r.outputs.push_back(jo.str());
+      }
+    }
     r.reason = jr.get_string("reason");
     r.quarantine = jr.get_string("quarantine");
     r.retries = static_cast<int>(jr.get_number("retries", 0));
@@ -176,6 +208,35 @@ Result<RunReport, std::string> RunReport::from_json_text(
   }
   if (totals->fields().size() != computed.size()) {
     return std::string("stage_totals names a stage the records array lacks");
+  }
+
+  // Same for the derived stage_shares block.
+  const Json* shares = root.find("stage_shares");
+  if (!shares || !shares->is_object()) {
+    return std::string("run report has no stage_shares block");
+  }
+  const auto computed_shares = report.stage_shares();
+  for (const auto& [stage, share] : computed_shares) {
+    const Json* entry = shares->find(stage);
+    if (!entry || !entry->is_number() ||
+        std::fabs(entry->number() - share) > 1e-6) {
+      return "stage_shares entry for '" + stage +
+             "' disagrees with the records array";
+    }
+  }
+  if (shares->fields().size() != computed_shares.size()) {
+    return std::string("stage_shares names a stage the records array lacks");
+  }
+
+  // An ok record's outputs array, when present, must include the
+  // primary output.
+  for (const RecordOutcome& r : report.records) {
+    if (r.status != RecordOutcome::Status::kOk || r.outputs.empty()) continue;
+    bool found = false;
+    for (const std::string& o : r.outputs) found = found || o == r.output;
+    if (!found) {
+      return "record '" + r.record + "' outputs array omits its output";
+    }
   }
   return report;
 }

@@ -24,7 +24,10 @@ struct RecordOutcome {
   std::string record;      // record id, e.g. "SS01l"
   std::string input;       // input file path
   Status status = Status::kOk;
-  std::string output;      // V2 path (ok records)
+  std::string output;      // primary V2 path (ok records)
+  // Every file the record produced, V2 first, then the F and R spectra
+  // — the set acx_validate audits against out/.
+  std::vector<std::string> outputs;
   std::string reason;      // quarantine reason slug (quarantined records)
   std::string quarantine;  // quarantine file path
   std::vector<StageAttempt> stages;
@@ -35,7 +38,7 @@ struct RecordOutcome {
 // The machine-readable outcome of one event run, written atomically to
 // <work_dir>/run_report.json. Schema documented in docs/PIPELINE.md.
 struct RunReport {
-  static constexpr int kVersion = 2;
+  static constexpr int kVersion = 3;
 
   std::string input_dir;
   std::string work_dir;
@@ -48,6 +51,10 @@ struct RunReport {
   // Wall clock summed per stage name over every record — the numbers
   // the Table I per-stage benches are driven from.
   std::map<std::string, double> stage_totals() const;
+  // Each stage's fraction of the summed stage wall clock (0..1). This
+  // is how the paper's "Stage IX is 57.2% of the sequential run" claim
+  // is measured on our own runs: stage_shares()["response"].
+  std::map<std::string, double> stage_shares() const;
 
   Json to_json() const;
   std::string dump() const { return to_json().dump(2); }

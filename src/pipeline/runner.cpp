@@ -127,7 +127,18 @@ RecordOutcome StageRunner::process_record(
   if (ok) {
     outcome.status = RecordOutcome::Status::kOk;
     outcome.output = ctx.output_path.string();
+    for (const stdfs::path* p :
+         {&ctx.output_path, &ctx.fourier_path, &ctx.response_path}) {
+      if (!p->empty()) outcome.outputs.push_back(p->string());
+    }
   } else {
+    // Earlier stages may already have published spectra into out/; a
+    // quarantined record must leave no outputs behind, or the validator
+    // (rightly) flags them as unclaimed.
+    for (const stdfs::path* p :
+         {&ctx.output_path, &ctx.fourier_path, &ctx.response_path}) {
+      if (!p->empty()) (void)fs_.remove_all(*p);
+    }
     quarantine_record(work_dir / "quarantine", ctx, failure, outcome);
   }
 
@@ -154,7 +165,7 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
   auto listed = fs_.list_dir(input_dir);
   if (!listed.ok()) return std::move(listed).take_error();
 
-  auto stages = default_stages(cfg_.correction);
+  auto stages = default_stages(cfg_.correction, cfg_.spectrum);
   for (const stdfs::path& path : listed.value()) {
     if (path.extension() != formats::kV1Extension) continue;
     report.records.push_back(process_record(path, work_dir, stages));

@@ -26,8 +26,11 @@ struct RunnerConfig {
   // Backoff sleep; defaults to a real sleep, tests inject a no-op.
   SleepFn sleep;
   StageFault stage_fault;
-  // Band corners / FIR length / gain of the V2 correction chain.
+  // Fallback band corners / FIR length / gain of the V2 correction chain.
   CorrectionConfig correction;
+  // FAS, corner-search and response-grid parameters of the spectral
+  // stages (corners, fourier, response).
+  SpectrumConfig spectrum;
   // keep_going=true is the production mode: quarantine poisoned records
   // and continue the event run with the survivors. false stops at the
   // first quarantined record (still writing the report).
@@ -41,6 +44,8 @@ struct RunnerConfig {
 //
 // Work-dir layout:
 //   <work>/out/<record>.v2              one per surviving record
+//   <work>/out/<record>.f               Fourier amplitude spectrum
+//   <work>/out/<record>.r               response spectra (SD/SV/SA)
 //   <work>/quarantine/<record>.<reason> original bytes of poisoned records
 //   <work>/run_report.json              per-record outcomes
 //   <work>/scratch/                     removed after the run

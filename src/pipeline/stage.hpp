@@ -2,12 +2,16 @@
 
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "formats/record.hpp"
 #include "formats/v2.hpp"
 #include "signal/timeseries.hpp"
+#include "spectrum/corners.hpp"
+#include "spectrum/fourier.hpp"
+#include "spectrum/response.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/result.hpp"
@@ -23,14 +27,17 @@ struct StageError {
   std::string detail;
 };
 
-// Correction parameters of the V2 chain. The corners stand in for the
-// paper's per-record FPL/FSL search (which needs the spectrum
-// substrate); taps is the design length, shortened per record to
-// min(taps, largest odd <= n/3) and never below kMinCorrectionTaps
-// (shorter records are signal.too_short poison). See docs/SIGNAL.md.
+// Correction parameters of the V2 chain. The low/high corners are the
+// FALLBACK band: the corners stage derives per-record FPL/FSL corners
+// from the Fourier spectrum and the band-pass prefers those, dropping
+// back to this fixed band only when the search reports no usable
+// corner (docs/SPECTRUM.md, "Corner search"). taps is the FIR design
+// length, shortened per record to min(taps, largest odd <= n/3) and
+// never below kMinCorrectionTaps (shorter records are signal.too_short
+// poison). See docs/SIGNAL.md.
 struct CorrectionConfig {
-  double low_hz = 0.5;    // long-period corner (paper: from FSL)
-  double high_hz = 25.0;  // short-period corner (paper: from FPL)
+  double low_hz = 0.5;    // fallback long-period corner
+  double high_hz = 25.0;  // fallback short-period corner
   int taps = 101;
   // Nominal instrument gain for counts -> cm/s2; replaced by
   // per-station calibration when station metadata lands.
@@ -38,6 +45,13 @@ struct CorrectionConfig {
 };
 
 inline constexpr int kMinCorrectionTaps = 21;
+
+// Parameters of the spectral stages (corners, fourier, response).
+struct SpectrumConfig {
+  spectrum::FourierSpec fourier;         // FAS of the corrected record
+  spectrum::CornerSearchConfig corners;  // FPL/FSL search tuning
+  spectrum::ResponseGrid grid = spectrum::paper_grid();
+};
 
 // Per-record working state threaded through the stages. Each record is
 // processed inside its own scratch directory (the paper's temp-folder
@@ -54,9 +68,12 @@ struct RecordContext {
   std::vector<double> velocity;          // cm/s, from the integrate stage
   std::vector<double> displacement;      // cm, from the integrate stage
   formats::PeakSet peaks;                // PGA/PGV/PGD, from the peaks stage
+  std::optional<spectrum::Corners> corners;  // FPL/FSL, when the search hit
   std::vector<std::string> processing;   // stages applied so far
   std::vector<std::string> history;      // V2 '#' comment lines
   std::filesystem::path output_path;     // set by the write stage
+  std::filesystem::path fourier_path;    // set by the fourier stage
+  std::filesystem::path response_path;   // set by the response stage
 };
 
 // A pipeline process (the reproduction's P#k). Stages must be
@@ -68,11 +85,13 @@ class Stage {
   virtual Result<Unit, StageError> run(RecordContext& ctx) = 0;
 };
 
-// The V2 correction chain: stage_in -> parse -> calibrate -> demean ->
-// bandpass -> detrend -> integrate -> peaks -> write_v2. Later PRs
-// extend this toward the paper's full P#0–P#19 (F/R spectra, plots,
-// GEM). Stage-to-paper mapping: docs/PIPELINE.md.
+// The correction + spectra chain: stage_in -> parse -> calibrate ->
+// demean -> corners -> bandpass -> detrend -> integrate -> peaks ->
+// fourier -> response -> write_v2. Later PRs extend this toward the
+// paper's full P#0–P#19 (plots, GEM). Stage-to-paper mapping:
+// docs/PIPELINE.md.
 std::vector<std::unique_ptr<Stage>> default_stages(
-    const CorrectionConfig& correction = {});
+    const CorrectionConfig& correction = {},
+    const SpectrumConfig& spectrum = {});
 
 }  // namespace acx::pipeline

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "formats/spectra.hpp"
 #include "formats/v1.hpp"
 #include "formats/v2.hpp"
 #include "pipeline/stage.hpp"
@@ -25,6 +26,14 @@ StageError from_io(const IoError& e) {
 StageError from_signal(const signal::SignalError& e) {
   return StageError{ErrorClass::kPoison,
                     std::string("signal.") + signal::slug(e.code),
+                    e.to_string()};
+}
+
+// Same for the spectral kernels: "spectrum.<slug>", always poison. The
+// corners stage filters its soft codes before reaching this.
+StageError from_spectrum(const spectrum::SpectrumError& e) {
+  return StageError{ErrorClass::kPoison,
+                    std::string("spectrum.") + spectrum::slug(e.code),
                     e.to_string()};
 }
 
@@ -107,8 +116,54 @@ class DemeanStage final : public Stage {
   }
 };
 
-// Band-pass: zero-phase windowed-sinc FIR inside the instrument band.
-// The design length adapts to short records (min(taps, odd(n/3))); a
+// Corners: per-record FPL/FSL search on the Fourier amplitude spectrum
+// of the demeaned (still unfiltered) acceleration — the paper's
+// CalculateInflectionPoint. A failed search (spectrum too short or no
+// confirmed crossing) is NOT poison: the record falls back to the
+// fixed CorrectionConfig band, and the history records which path was
+// taken. Hard kernel errors (non-finite data, bad config) stay poison.
+class CornersStage final : public Stage {
+ public:
+  CornersStage(const CorrectionConfig& correction, const SpectrumConfig& cfg)
+      : correction_(correction), cfg_(cfg) {}
+  const char* name() const override { return "corners"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto fas = spectrum::fourier_amplitude(ctx.record.samples,
+                                           ctx.record.header.dt, cfg_.fourier);
+    if (!fas.ok()) return from_spectrum(fas.error());
+
+    auto found = spectrum::find_corners(fas.value(), cfg_.corners);
+    char buf[128];
+    if (found.ok()) {
+      ctx.corners = found.value();
+      std::snprintf(buf, sizeof buf,
+                    "corners: fsl %.4f Hz, fpl %.4f Hz (spectrum search)",
+                    ctx.corners->fsl_hz, ctx.corners->fpl_hz);
+    } else {
+      const spectrum::SpectrumError& e = found.error();
+      const bool soft = e.code == spectrum::SpectrumError::Code::kNoCorner ||
+                        e.code == spectrum::SpectrumError::Code::kTooShort;
+      if (!soft) return from_spectrum(e);
+      ctx.corners.reset();
+      std::snprintf(buf, sizeof buf,
+                    "corners: search failed (spectrum.%s), falling back to "
+                    "fixed %.2f-%.2f Hz band",
+                    spectrum::slug(e.code), correction_.low_hz,
+                    correction_.high_hz);
+    }
+    ctx.history.push_back(buf);
+    ctx.processing.push_back("corners");
+    return Unit{};
+  }
+
+ private:
+  CorrectionConfig correction_;
+  SpectrumConfig cfg_;
+};
+
+// Band-pass: zero-phase windowed-sinc FIR between the record's FPL/FSL
+// corners (fixed instrument band when the search fell back). The
+// design length adapts to short records (min(taps, odd(n/3))); a
 // record too short for even kMinCorrectionTaps is poison.
 class BandPassStage final : public Stage {
  public:
@@ -125,7 +180,9 @@ class BandPassStage final : public Stage {
           "record has " + std::to_string(n) + " samples; band-pass needs >= " +
               std::to_string(3 * kMinCorrectionTaps)});
     }
-    signal::BandPassSpec spec{cfg_.low_hz, cfg_.high_hz, taps};
+    const double low = ctx.corners ? ctx.corners->fsl_hz : cfg_.low_hz;
+    const double high = ctx.corners ? ctx.corners->fpl_hz : cfg_.high_hz;
+    signal::BandPassSpec spec{low, high, taps};
     auto h = signal::design_bandpass(spec, ctx.record.header.dt);
     if (!h.ok()) return from_signal(h.error());
     auto filtered = signal::filtfilt(h.value(), ctx.record.samples);
@@ -134,8 +191,9 @@ class BandPassStage final : public Stage {
 
     char buf[128];
     std::snprintf(buf, sizeof buf,
-                  "bandpass: fir %.2f-%.2f Hz, %d taps, hamming, zero-phase",
-                  cfg_.low_hz, cfg_.high_hz, taps);
+                  "bandpass: fir %.4f-%.4f Hz, %d taps, hamming, zero-phase "
+                  "(%s)",
+                  low, high, taps, ctx.corners ? "fsl/fpl" : "fixed band");
     ctx.history.push_back(buf);
     ctx.processing.push_back("bandpass");
     return Unit{};
@@ -202,6 +260,100 @@ class PeaksStage final : public Stage {
   }
 };
 
+// Fourier: FAS of the corrected acceleration, written as the F output
+// (Stage VIII of the paper). Carries the FPL/FSL corners the band-pass
+// actually used, when the search produced them.
+class FourierStage final : public Stage {
+ public:
+  explicit FourierStage(const SpectrumConfig& cfg) : cfg_(cfg) {}
+  const char* name() const override { return "fourier"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto fas = spectrum::fourier_amplitude(ctx.record.samples,
+                                           ctx.record.header.dt, cfg_.fourier);
+    if (!fas.ok()) return from_spectrum(fas.error());
+    const spectrum::FourierSpectrum& spec = fas.value();
+
+    formats::FRecord f;
+    f.header = ctx.record.header;
+    f.header.npts = static_cast<long>(spec.size());
+    f.header.units = "cm/s";
+    f.df = spec.df;
+    f.nfft = static_cast<long>(spec.nfft);
+    f.window = spectrum::to_string(spec.window);
+    if (ctx.corners) {
+      f.has_corners = true;
+      f.fsl_hz = ctx.corners->fsl_hz;
+      f.fpl_hz = ctx.corners->fpl_hz;
+    }
+    f.amplitude = spec.amplitude;
+
+    const std::string name =
+        ctx.record_id + std::string(formats::kFExtension);
+    const std::string content = formats::write_f(f);
+    auto scratch = atomic_write_file(*ctx.fs, ctx.scratch_dir / name, content);
+    if (!scratch.ok()) return from_io(scratch.error());
+    auto out = atomic_write_file(*ctx.fs, ctx.out_dir / name, content);
+    if (!out.ok()) return from_io(out.error());
+    ctx.fourier_path = ctx.out_dir / name;
+
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "fourier: fas dt*|X[k]|, nfft %ld, window %s",
+                  f.nfft, f.window.c_str());
+    ctx.history.push_back(buf);
+    ctx.processing.push_back("fourier");
+    return Unit{};
+  }
+
+ private:
+  SpectrumConfig cfg_;
+};
+
+// Response: SD/SV/SA over the (period, damping) grid via the exact
+// Nigam–Jennings recurrence, written as the R output. This is the
+// paper's Stage IX — the dominant share of sequential runtime and the
+// primary OpenMP target.
+class ResponseStage final : public Stage {
+ public:
+  explicit ResponseStage(const SpectrumConfig& cfg) : cfg_(cfg) {}
+  const char* name() const override { return "response"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto spec = spectrum::response_spectrum(ctx.record.samples,
+                                            ctx.record.header.dt, cfg_.grid);
+    if (!spec.ok()) return from_spectrum(spec.error());
+    spectrum::ResponseSpectrum rs = std::move(spec).take();
+
+    formats::RRecord r;
+    r.header = ctx.record.header;
+    r.header.npts = static_cast<long>(rs.periods.size());
+    r.header.units.clear();  // the R block mixes cm, cm/s and cm/s2
+    r.dampings = std::move(rs.dampings);
+    r.periods = std::move(rs.periods);
+    r.sd = std::move(rs.sd);
+    r.sv = std::move(rs.sv);
+    r.sa = std::move(rs.sa);
+
+    const std::string name =
+        ctx.record_id + std::string(formats::kRExtension);
+    const std::string content = formats::write_r(r);
+    auto scratch = atomic_write_file(*ctx.fs, ctx.scratch_dir / name, content);
+    if (!scratch.ok()) return from_io(scratch.error());
+    auto out = atomic_write_file(*ctx.fs, ctx.out_dir / name, content);
+    if (!out.ok()) return from_io(out.error());
+    ctx.response_path = ctx.out_dir / name;
+
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "response: nigam-jennings, %zu periods x %zu dampings",
+                  r.periods.size(), r.dampings.size());
+    ctx.history.push_back(buf);
+    ctx.processing.push_back("response");
+    return Unit{};
+  }
+
+ private:
+  SpectrumConfig cfg_;
+};
+
 // Write: emit the V2 into scratch, then stage it out into out/ — both
 // through the atomic-write helper, so a crash or an injected fault can
 // never leave a partial output visible.
@@ -231,16 +383,19 @@ class WriteV2Stage final : public Stage {
 }  // namespace
 
 std::vector<std::unique_ptr<Stage>> default_stages(
-    const CorrectionConfig& correction) {
+    const CorrectionConfig& correction, const SpectrumConfig& spectrum) {
   std::vector<std::unique_ptr<Stage>> stages;
   stages.push_back(std::make_unique<StageIn>());
   stages.push_back(std::make_unique<ParseStage>());
   stages.push_back(std::make_unique<CalibrateStage>(correction));
   stages.push_back(std::make_unique<DemeanStage>());
+  stages.push_back(std::make_unique<CornersStage>(correction, spectrum));
   stages.push_back(std::make_unique<BandPassStage>(correction));
   stages.push_back(std::make_unique<DetrendStage>());
   stages.push_back(std::make_unique<IntegrateStage>());
   stages.push_back(std::make_unique<PeaksStage>());
+  stages.push_back(std::make_unique<FourierStage>(spectrum));
+  stages.push_back(std::make_unique<ResponseStage>(spectrum));
   stages.push_back(std::make_unique<WriteV2Stage>());
   return stages;
 }

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <set>
 
+#include "formats/spectra.hpp"
 #include "formats/v2.hpp"
+#include "pipeline/reasons.hpp"
 #include "pipeline/report.hpp"
 
 namespace acx::pipeline {
@@ -75,67 +77,120 @@ ValidationSummary validate_workdir(FileSystem& fs,
                   "record " + r.record + " is ok but names no output");
         continue;
       }
-      const stdfs::path out_path(r.output);
-      claimed_out.insert(out_path.filename().string());
-      auto content = fs.read_file(out_path);
-      if (!content.ok()) {
-        add_issue(summary, "missing_output",
-                  "record " + r.record + ": " + content.error().to_string());
-        continue;
-      }
-      auto v2 = formats::read_v2(content.value());
-      if (!v2.ok()) {
-        add_issue(summary, "corrupt_output",
-                  "record " + r.record + ": " + v2.error().to_string());
-        continue;
-      }
-      if (v2.value().record.header.id() != r.record) {
-        add_issue(summary, "mismatched_output",
-                  "record " + r.record + ": output header says '" +
-                      v2.value().record.header.id() + "'");
-      }
-      // A claimed V2 must carry usable science: finite samples and a
-      // complete, finite peak block. The strict reader already rejects
-      // non-finite data cells; this re-check keeps the audit honest
-      // even if the reader's guarantees ever loosen.
-      const formats::V2Record& out_rec = v2.value();
-      bool all_finite = !out_rec.record.samples.empty();
-      for (const double s : out_rec.record.samples) {
-        if (!std::isfinite(s)) {
-          all_finite = false;
-          break;
+      // Audit every claimed output, dispatching the strict reader on
+      // the extension. Reports from before the spectral stages carried
+      // only `output`; fall back to that single path.
+      std::vector<std::string> claimed = r.outputs;
+      if (claimed.empty()) claimed.push_back(r.output);
+      bool has_f = false, has_r = false;
+      for (const std::string& claim : claimed) {
+        const stdfs::path out_path(claim);
+        const std::string ext = out_path.extension().string();
+        claimed_out.insert(out_path.filename().string());
+        auto content = fs.read_file(out_path);
+        if (!content.ok()) {
+          add_issue(summary, "missing_output",
+                    "record " + r.record + ": " + content.error().to_string());
+          continue;
+        }
+        if (ext == formats::kFExtension) {
+          has_f = true;
+          auto f = formats::read_f(content.value());
+          if (!f.ok()) {
+            add_issue(summary, "corrupt_output",
+                      "record " + r.record + ": " + f.error().to_string());
+          } else if (f.value().header.id() != r.record) {
+            add_issue(summary, "mismatched_output",
+                      "record " + r.record + ": F header says '" +
+                          f.value().header.id() + "'");
+          }
+          continue;
+        }
+        if (ext == formats::kRExtension) {
+          has_r = true;
+          auto rr = formats::read_r(content.value());
+          if (!rr.ok()) {
+            add_issue(summary, "corrupt_output",
+                      "record " + r.record + ": " + rr.error().to_string());
+          } else if (rr.value().header.id() != r.record) {
+            add_issue(summary, "mismatched_output",
+                      "record " + r.record + ": R header says '" +
+                          rr.value().header.id() + "'");
+          }
+          continue;
+        }
+        if (ext != formats::kV2Extension) {
+          add_issue(summary, "unexpected_file",
+                    "record " + r.record + " claims output with unknown "
+                    "extension: " + claim);
+          continue;
+        }
+        auto v2 = formats::read_v2(content.value());
+        if (!v2.ok()) {
+          add_issue(summary, "corrupt_output",
+                    "record " + r.record + ": " + v2.error().to_string());
+          continue;
+        }
+        if (v2.value().record.header.id() != r.record) {
+          add_issue(summary, "mismatched_output",
+                    "record " + r.record + ": output header says '" +
+                        v2.value().record.header.id() + "'");
+        }
+        // A claimed V2 must carry usable science: finite samples and a
+        // complete, finite peak block. The strict reader already rejects
+        // non-finite data cells; this re-check keeps the audit honest
+        // even if the reader's guarantees ever loosen.
+        const formats::V2Record& out_rec = v2.value();
+        bool all_finite = !out_rec.record.samples.empty();
+        for (const double s : out_rec.record.samples) {
+          if (!std::isfinite(s)) {
+            all_finite = false;
+            break;
+          }
+        }
+        if (!all_finite) {
+          add_issue(summary, "nonfinite_output",
+                    "record " + r.record +
+                        ": output has empty or non-finite samples");
+        }
+        if (!out_rec.peaks.present) {
+          add_issue(summary, "missing_peaks",
+                    "record " + r.record +
+                        ": output lacks PGA/PGV/PGD headers");
+        } else {
+          const double t_max =
+              static_cast<double>(out_rec.record.samples.size()) *
+              out_rec.record.header.dt;
+          auto check_peak = [&](const char* label,
+                                const formats::PeakEntry& entry) {
+            if (!std::isfinite(entry.value) || !std::isfinite(entry.time) ||
+                entry.time < 0 || entry.time > t_max) {
+              add_issue(summary, "bad_peaks",
+                        "record " + r.record + ": " + std::string(label) +
+                            " is non-finite or out of the record's time range");
+            }
+          };
+          check_peak("PGA", out_rec.peaks.pga);
+          check_peak("PGV", out_rec.peaks.pgv);
+          check_peak("PGD", out_rec.peaks.pgd);
         }
       }
-      if (!all_finite) {
-        add_issue(summary, "nonfinite_output",
-                  "record " + r.record +
-                      ": output has empty or non-finite samples");
-      }
-      if (!out_rec.peaks.present) {
-        add_issue(summary, "missing_peaks",
-                  "record " + r.record + ": output lacks PGA/PGV/PGD headers");
-      } else {
-        const double t_max =
-            static_cast<double>(out_rec.record.samples.size()) *
-            out_rec.record.header.dt;
-        auto check_peak = [&](const char* label,
-                              const formats::PeakEntry& entry) {
-          if (!std::isfinite(entry.value) || !std::isfinite(entry.time) ||
-              entry.time < 0 || entry.time > t_max) {
-            add_issue(summary, "bad_peaks",
-                      "record " + r.record + ": " + std::string(label) +
-                          " is non-finite or out of the record's time range");
-          }
-        };
-        check_peak("PGA", out_rec.peaks.pga);
-        check_peak("PGV", out_rec.peaks.pgv);
-        check_peak("PGD", out_rec.peaks.pgd);
+      // A surviving record must have produced its spectra when the
+      // report is new enough to list them.
+      if (!r.outputs.empty() && (!has_f || !has_r)) {
+        add_issue(summary, "missing_spectra",
+                  "record " + r.record + " is ok but claims no " +
+                      (has_f ? "R" : has_r ? "F" : "F or R") + " output");
       }
     } else {
       ++summary.records_quarantined;
       if (r.reason.empty()) {
         add_issue(summary, "missing_reason",
                   "record " + r.record + " quarantined without a reason");
+      } else if (!is_registered_reason(r.reason)) {
+        add_issue(summary, "unregistered_reason",
+                  "record " + r.record + " quarantined with reason '" +
+                      r.reason + "' not in the registry");
       }
       if (r.quarantine.empty()) {
         add_issue(summary, "missing_quarantine",

@@ -24,8 +24,10 @@ struct ValidationSummary {
 // Audits a pipeline work dir against its run_report.json:
 //  - no atomic-write temporaries anywhere under the tree (proves no
 //    partially-written file survived any fault);
-//  - every "ok" record has a V2 output that passes the strict reader;
-//  - every quarantined record has its quarantine file and a reason;
+//  - every "ok" record's claimed outputs pass the strict reader for
+//    their format (.v2, .f, .r), and the F/R spectra are present;
+//  - every quarantined record has its quarantine file and a reason
+//    from the src/pipeline/reasons.hpp registry;
 //  - out/ and quarantine/ contain nothing the report doesn't claim;
 //  - scratch/ is gone (or empty);
 //  - the report's counts block matches its records array.

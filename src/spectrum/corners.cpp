@@ -1,0 +1,142 @@
+#include "spectrum/corners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace acx::spectrum {
+
+namespace {
+
+// Constant-relative-bandwidth moving average (Konno–Ohmachi-like):
+// the half-width at bin i is max(bins/2, rel * i), truncated at the
+// edges so every output is the mean of the bins actually available.
+// A fixed-width window cannot serve both ends of the spectrum: wide
+// enough to beat amplitude fluctuation at high frequency, it leaks
+// band energy across the low-frequency rolloff and erases the FSL
+// trough. Growing the width with frequency keeps the window narrow
+// where bins are few per octave and wide where fluctuation dominates.
+std::vector<double> smooth(const std::vector<double>& x, int bins,
+                           double rel) {
+  const int n = static_cast<int>(x.size());
+  std::vector<double> cum(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    cum[static_cast<std::size_t>(i) + 1] =
+        cum[static_cast<std::size_t>(i)] + x[static_cast<std::size_t>(i)];
+  }
+  const int base_half = bins / 2;
+  std::vector<double> out(x.size());
+  for (int i = 0; i < n; ++i) {
+    const int half = std::max(base_half, static_cast<int>(rel * i));
+    const int lo = std::max(0, i - half);
+    const int hi = std::min(n - 1, i + half);
+    out[static_cast<std::size_t>(i)] =
+        (cum[static_cast<std::size_t>(hi) + 1] -
+         cum[static_cast<std::size_t>(lo)]) /
+        static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Corners, SpectrumError> find_corners(const FourierSpectrum& spectrum,
+                                            const CornerSearchConfig& cfg) {
+  const std::vector<double>& amp = spectrum.amplitude;
+  if (amp.empty()) {
+    return SpectrumError{SpectrumError::Code::kEmptyInput, "empty spectrum"};
+  }
+  if (!(cfg.smoothing_bins > 0 && cfg.smoothing_bins % 2 == 1) ||
+      cfg.confirm_bins < 1 || !(cfg.threshold > 0 && cfg.threshold < 1) ||
+      !(cfg.relative_bandwidth >= 0 && cfg.relative_bandwidth < 1) ||
+      !(cfg.min_fsl_hz > 0) ||
+      !(cfg.max_fpl_frac > 0 && cfg.max_fpl_frac < 1)) {
+    return SpectrumError{SpectrumError::Code::kBadGrid,
+                         "corner-search configuration is invalid"};
+  }
+  const int n = static_cast<int>(amp.size());
+  // The search needs room for the smoother, the peak, and a confirmed
+  // run on both sides of it.
+  if (n < 2 * cfg.smoothing_bins + 2 * cfg.confirm_bins) {
+    return SpectrumError{
+        SpectrumError::Code::kTooShort,
+        "spectrum has " + std::to_string(n) + " bins; the search needs >= " +
+            std::to_string(2 * cfg.smoothing_bins + 2 * cfg.confirm_bins)};
+  }
+
+  const double df = spectrum.df;
+  const int k_min = std::max(
+      1, static_cast<int>(std::ceil(cfg.min_fsl_hz / df)));
+  const int k_max = std::min(
+      n - 1, static_cast<int>(std::floor(cfg.max_fpl_frac *
+                                         spectrum.nyquist_hz() / df)));
+  if (k_min >= k_max) {
+    return SpectrumError{SpectrumError::Code::kTooShort,
+                         "search band is empty at this bin spacing"};
+  }
+
+  const std::vector<double> s =
+      smooth(amp, cfg.smoothing_bins, cfg.relative_bandwidth);
+
+  // Peak-clearing phase: the dominant spectral peak inside the band.
+  int k_peak = k_min;
+  for (int k = k_min; k <= k_max; ++k) {
+    if (s[static_cast<std::size_t>(k)] > s[static_cast<std::size_t>(k_peak)]) {
+      k_peak = k;
+    }
+  }
+  const double peak = s[static_cast<std::size_t>(k_peak)];
+  if (!(peak > 0) || !std::isfinite(peak)) {
+    return SpectrumError{SpectrumError::Code::kNoCorner,
+                         "spectrum has no positive peak in the search band"};
+  }
+  const double thr = cfg.threshold * peak;
+
+  // Trough-confirming scans with early termination: accept the first
+  // bin whose next confirm_bins bins (inclusive) all sit below the
+  // threshold. The crossing bin itself is the corner.
+  auto confirmed_below = [&](int k, int direction) {
+    for (int j = 0; j < cfg.confirm_bins; ++j) {
+      const int i = k + direction * j;
+      if (i < 0 || i >= n) return false;
+      if (s[static_cast<std::size_t>(i)] >= thr) return false;
+    }
+    return true;
+  };
+
+  int k_fpl = -1;
+  for (int k = k_peak + 1; k <= k_max; ++k) {
+    if (confirmed_below(k, +1)) {
+      k_fpl = k;
+      break;
+    }
+  }
+  int k_fsl = -1;
+  for (int k = k_peak - 1; k >= k_min; --k) {
+    if (confirmed_below(k, -1)) {
+      k_fsl = k;
+      break;
+    }
+  }
+  if (k_fpl < 0 || k_fsl < 0) {
+    return SpectrumError{
+        SpectrumError::Code::kNoCorner,
+        std::string("no confirmed ") +
+            (k_fpl < 0 && k_fsl < 0 ? "FPL or FSL"
+             : k_fpl < 0            ? "FPL"
+                                    : "FSL") +
+            " crossing below the threshold"};
+  }
+
+  Corners out;
+  out.fsl_hz = df * k_fsl;
+  out.fpl_hz = df * k_fpl;
+  if (!(out.fsl_hz < out.fpl_hz)) {
+    return SpectrumError{SpectrumError::Code::kNoCorner,
+                         "degenerate corners: FSL >= FPL"};
+  }
+  return out;
+}
+
+}  // namespace acx::spectrum

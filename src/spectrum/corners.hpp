@@ -1,0 +1,46 @@
+#pragma once
+
+#include "spectrum/error.hpp"
+#include "spectrum/fourier.hpp"
+#include "util/result.hpp"
+
+namespace acx::spectrum {
+
+// Parameters of the FPL/FSL search (docs/SPECTRUM.md, "Corner search").
+// Defaults follow the paper's CalculateInflectionPoint shape: smooth the
+// spectrum, clear the dominant peak, then confirm each threshold
+// crossing over several consecutive bins before accepting it.
+struct CornerSearchConfig {
+  // Floor of the centered moving-average width (odd). The window's
+  // half-width also grows with frequency as relative_bandwidth * bin,
+  // Konno–Ohmachi style: constant relative bandwidth keeps the smoother
+  // narrow across the low-frequency rolloff (so band energy does not
+  // leak into the FSL trough) while still averaging away the amplitude
+  // fluctuation of noisy records at high frequency.
+  int smoothing_bins = 9;
+  double relative_bandwidth = 0.05;  // extra half-width per bin index
+  double threshold = 0.10;     // crossing level, fraction of smoothed peak
+  int confirm_bins = 3;        // consecutive sub-threshold bins required
+  double min_fsl_hz = 0.10;    // FSL search floor (excludes the DC bins)
+  double max_fpl_frac = 0.90;  // FPL search ceiling, fraction of Nyquist
+};
+
+// Per-record band-pass corners derived from the spectrum: FSL is the
+// long-period (low-frequency) corner, FPL the short-period one. These
+// replace the fixed instrument band of `pipeline::CorrectionConfig`
+// when the search succeeds.
+struct Corners {
+  double fsl_hz = 0.0;
+  double fpl_hz = 0.0;
+};
+
+// Searches a Fourier amplitude spectrum for the corners: smooth with a
+// centered moving average, locate the dominant peak above the FSL
+// floor, then walk outward in both directions until the smoothed
+// amplitude stays below threshold * peak for confirm_bins consecutive
+// bins. Errors are soft from the pipeline's point of view: kNoCorner /
+// kTooShort mean "use the fixed fallback band", never poison.
+Result<Corners, SpectrumError> find_corners(const FourierSpectrum& spectrum,
+                                            const CornerSearchConfig& cfg = {});
+
+}  // namespace acx::spectrum

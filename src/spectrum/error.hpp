@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+
+namespace acx::spectrum {
+
+// Failure taxonomy of the spectrum kernels (Fourier amplitude spectrum,
+// response spectra, FPL/FSL corner search). Every kernel returns
+// Result<_, SpectrumError>; the pipeline maps each code to the poison
+// reason "spectrum.<slug>" (see docs/SPECTRUM.md, "Error taxonomy").
+// Like signal errors, spectrum errors are deterministic for a given
+// input — never retried. The one soft code is kNoCorner: the corners
+// stage treats a failed FPL/FSL search as a documented fallback to the
+// fixed instrument band, not as poison.
+struct SpectrumError {
+  enum class Code {
+    kEmptyInput,           // no samples / no spectrum bins at all
+    kTooShort,             // fewer samples/bins than the operation requires
+    kNonFinite,            // NaN/Inf in input, or produced by the kernel
+    kBadSamplingInterval,  // dt not finite or not positive
+    kBadWindow,            // unknown taper window name
+    kBadPeriod,            // oscillator period not finite or not positive
+    kBadDamping,           // damping ratio outside [0, 1)
+    kBadGrid,              // empty / non-ascending period or damping grid
+    kNoCorner,             // FPL/FSL search found no confirmed crossing
+  };
+
+  Code code{};
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+inline const char* slug(SpectrumError::Code c) {
+  switch (c) {
+    case SpectrumError::Code::kEmptyInput: return "empty_input";
+    case SpectrumError::Code::kTooShort: return "too_short";
+    case SpectrumError::Code::kNonFinite: return "non_finite";
+    case SpectrumError::Code::kBadSamplingInterval:
+      return "bad_sampling_interval";
+    case SpectrumError::Code::kBadWindow: return "bad_window";
+    case SpectrumError::Code::kBadPeriod: return "bad_period";
+    case SpectrumError::Code::kBadDamping: return "bad_damping";
+    case SpectrumError::Code::kBadGrid: return "bad_grid";
+    case SpectrumError::Code::kNoCorner: return "no_corner";
+  }
+  return "unknown";
+}
+
+inline std::string SpectrumError::to_string() const {
+  std::string s = "spectrum.";
+  s += slug(code);
+  if (!detail.empty()) {
+    s += ": ";
+    s += detail;
+  }
+  return s;
+}
+
+}  // namespace acx::spectrum

@@ -1,0 +1,106 @@
+#include "spectrum/fourier.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "signal/fft.hpp"
+
+namespace acx::spectrum {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Window coefficients, normalized to mean(w) == 1 (unit coherent gain)
+// so windowed and unwindowed sinusoid amplitudes agree.
+std::vector<double> make_window(Window w, std::size_t n) {
+  std::vector<double> out(n, 1.0);
+  if (w == Window::kNone || n < 2) return out;
+  const double denom = static_cast<double>(n - 1);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double c = std::cos(2.0 * kPi * static_cast<double>(k) / denom);
+    out[k] = w == Window::kHann ? 0.5 - 0.5 * c : 0.54 - 0.46 * c;
+    sum += out[k];
+  }
+  const double gain = sum / static_cast<double>(n);
+  for (double& v : out) v /= gain;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Window w) {
+  switch (w) {
+    case Window::kNone: return "none";
+    case Window::kHann: return "hann";
+    case Window::kHamming: return "hamming";
+  }
+  return "unknown";
+}
+
+bool window_from_string(const std::string& name, Window& out) {
+  if (name == "none") {
+    out = Window::kNone;
+  } else if (name == "hann") {
+    out = Window::kHann;
+  } else if (name == "hamming") {
+    out = Window::kHamming;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Result<FourierSpectrum, SpectrumError> fourier_amplitude(
+    const std::vector<double>& acc, double dt, const FourierSpec& spec) {
+  if (acc.empty()) {
+    return SpectrumError{SpectrumError::Code::kEmptyInput, "no samples"};
+  }
+  if (!std::isfinite(dt) || dt <= 0) {
+    return SpectrumError{SpectrumError::Code::kBadSamplingInterval,
+                         "dt must be finite and positive"};
+  }
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    if (!std::isfinite(acc[i])) {
+      return SpectrumError{SpectrumError::Code::kNonFinite,
+                           "sample " + std::to_string(i) + " is not finite"};
+    }
+  }
+
+  const std::size_t n = acc.size();
+  const std::size_t nfft = spec.pad_pow2 ? next_pow2(n) : n;
+  std::vector<double> padded(nfft, 0.0);
+  const std::vector<double> w = make_window(spec.window, n);
+  for (std::size_t i = 0; i < n; ++i) padded[i] = acc[i] * w[i];
+
+  auto bins = signal::rfft(padded);
+  if (!bins.ok()) {
+    return SpectrumError{SpectrumError::Code::kNonFinite,
+                         "rfft failed: " + bins.error().to_string()};
+  }
+
+  FourierSpectrum out;
+  out.dt = dt;
+  out.nfft = nfft;
+  out.df = 1.0 / (static_cast<double>(nfft) * dt);
+  out.window = spec.window;
+  out.amplitude.reserve(bins.value().size());
+  for (const signal::Complex& c : bins.value()) {
+    const double a = dt * std::abs(c);
+    if (!std::isfinite(a)) {
+      return SpectrumError{SpectrumError::Code::kNonFinite,
+                           "transform produced a non-finite amplitude"};
+    }
+    out.amplitude.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace acx::spectrum

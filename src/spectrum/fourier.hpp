@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spectrum/error.hpp"
+#include "util/result.hpp"
+
+namespace acx::spectrum {
+
+// Taper applied before the transform. The window is normalized to unit
+// coherent gain (mean(w) == 1), so a pass-band sinusoid keeps the same
+// spectral amplitude whichever window is chosen.
+enum class Window { kNone, kHann, kHamming };
+
+const char* to_string(Window w);
+// Reverse mapping for the F-format reader; false on unknown names.
+bool window_from_string(const std::string& name, Window& out);
+
+struct FourierSpec {
+  Window window = Window::kNone;
+  // Zero-pad the (windowed) input to the next power of two so the
+  // transform takes the radix-2 path. Padding refines the bin spacing
+  // df = 1 / (nfft * dt); it does not change the spectrum's envelope.
+  bool pad_pow2 = true;
+};
+
+// One-sided Fourier amplitude spectrum (FAS) of an acceleration record:
+//   amplitude[k] = dt * |X[k]|,  k = 0 .. nfft/2,
+// where X = fft(windowed, zero-padded input). The dt factor makes the
+// discrete transform approximate the continuous one, so acceleration in
+// cm/s2 yields FAS in cm/s (see docs/SPECTRUM.md).
+struct FourierSpectrum {
+  double dt = 0.0;          // source sampling interval, seconds
+  double df = 0.0;          // bin spacing, Hz: 1 / (nfft * dt)
+  std::size_t nfft = 0;     // transform length after padding
+  Window window = Window::kNone;
+  std::vector<double> amplitude;  // nfft/2 + 1 bins, cm/s
+
+  std::size_t size() const { return amplitude.size(); }
+  double frequency_at(std::size_t k) const {
+    return df * static_cast<double>(k);
+  }
+  double nyquist_hz() const { return 0.5 / dt; }
+};
+
+// Errors: empty input, bad dt, non-finite samples (or a non-finite
+// transform output, which would indicate an FFT bug, not bad data).
+Result<FourierSpectrum, SpectrumError> fourier_amplitude(
+    const std::vector<double>& acc, double dt, const FourierSpec& spec = {});
+
+}  // namespace acx::spectrum

@@ -1,0 +1,185 @@
+#include "spectrum/response.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace acx::spectrum {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Exact one-step propagator of x'' + 2*z*w*x' + w^2*x = -a(t) under
+// piecewise-linear a(t) over one interval of length dt (Nigam &
+// Jennings 1969). The recurrence
+//   x_{i+1} = a11*x_i + a12*v_i + b11*a_i + b12*a_{i+1}
+//   v_{i+1} = a21*x_i + a22*v_i + b21*a_i + b22*a_{i+1}
+// is assembled by propagating the four unit states through the
+// closed-form interval solution — algebraically identical to the
+// published coefficient formulas, without their error-prone 1/w^3
+// bookkeeping (docs/SPECTRUM.md derives both forms).
+struct NigamJennings {
+  double a11, a12, a21, a22;
+  double b11, b12, b21, b22;
+  double two_zw, w2;  // absolute acceleration = -(2*z*w*v + w^2*x)
+
+  NigamJennings(double w, double z, double dt) {
+    const double beta = z * w;        // decay rate
+    const double wd = w * std::sqrt(1.0 - z * z);  // damped frequency
+    const double e = std::exp(-beta * dt);
+    const double s = std::sin(wd * dt);
+    const double c = std::cos(wd * dt);
+    const double w3 = w * w * w;
+    w2 = w * w;
+    two_zw = 2.0 * beta;
+
+    // Closed-form state at t = dt for initial state (x0, v0) and
+    // forcing a(t) = a0 + m*t, m = (a1 - a0) / dt:
+    //   particular: xp(t) = -(a0 + m*t)/w^2 + 2*z*m/w^3, vp(t) = -m/w^2
+    //   homogeneous: e^{-beta t} (A cos wd t + B sin wd t),
+    //     A = x0 - xp(0),  B = (v0 - vp(0) + beta*A) / wd.
+    auto step = [&](double x0, double v0, double a0, double a1, double& x1,
+                    double& v1) {
+      const double m = (a1 - a0) / dt;
+      const double xp0 = -a0 / w2 + 2.0 * z * m / w3;
+      const double vp0 = -m / w2;
+      const double xpdt = -(a0 + m * dt) / w2 + 2.0 * z * m / w3;
+      const double a_h = x0 - xp0;
+      const double b_h = (v0 - vp0 + beta * a_h) / wd;
+      x1 = e * (a_h * c + b_h * s) + xpdt;
+      v1 = e * ((-beta * a_h + wd * b_h) * c - (wd * a_h + beta * b_h) * s) +
+           vp0;
+    };
+
+    step(1, 0, 0, 0, a11, a21);
+    step(0, 1, 0, 0, a12, a22);
+    step(0, 0, 1, 0, b11, b21);
+    step(0, 0, 0, 1, b12, b22);
+  }
+};
+
+}  // namespace
+
+Result<SdofPeaks, SpectrumError> sdof_peak_response(
+    const std::vector<double>& acc, double dt, double period, double damping) {
+  if (acc.empty()) {
+    return SpectrumError{SpectrumError::Code::kEmptyInput, "no samples"};
+  }
+  if (acc.size() < 2) {
+    return SpectrumError{SpectrumError::Code::kTooShort,
+                         "the recurrence needs at least 2 samples"};
+  }
+  if (!std::isfinite(dt) || dt <= 0) {
+    return SpectrumError{SpectrumError::Code::kBadSamplingInterval,
+                         "dt must be finite and positive"};
+  }
+  if (!std::isfinite(period) || period <= 0) {
+    return SpectrumError{SpectrumError::Code::kBadPeriod,
+                         "period must be finite and positive"};
+  }
+  if (!std::isfinite(damping) || damping < 0 || damping >= 1) {
+    return SpectrumError{SpectrumError::Code::kBadDamping,
+                         "damping ratio must be in [0, 1)"};
+  }
+
+  const double w = 2.0 * kPi / period;
+  const NigamJennings k(w, damping, dt);
+
+  SdofPeaks peaks;
+  double x = 0.0, v = 0.0;  // the oscillator starts at rest
+  for (std::size_t i = 0; i + 1 < acc.size(); ++i) {
+    const double x1 =
+        k.a11 * x + k.a12 * v + k.b11 * acc[i] + k.b12 * acc[i + 1];
+    const double v1 =
+        k.a21 * x + k.a22 * v + k.b21 * acc[i] + k.b22 * acc[i + 1];
+    x = x1;
+    v = v1;
+    const double abs_acc = std::fabs(k.two_zw * v + k.w2 * x);
+    if (std::fabs(x) > peaks.sd) peaks.sd = std::fabs(x);
+    if (std::fabs(v) > peaks.sv) peaks.sv = std::fabs(v);
+    if (abs_acc > peaks.sa) peaks.sa = abs_acc;
+  }
+  if (!std::isfinite(peaks.sd) || !std::isfinite(peaks.sv) ||
+      !std::isfinite(peaks.sa)) {
+    return SpectrumError{SpectrumError::Code::kNonFinite,
+                         "oscillator response is not finite"};
+  }
+  return peaks;
+}
+
+ResponseGrid paper_grid() {
+  ResponseGrid grid;
+  constexpr int kPeriods = 600;
+  constexpr double kTMin = 0.02, kTMax = 10.0;
+  grid.periods.reserve(kPeriods);
+  const double log_min = std::log(kTMin);
+  const double step = (std::log(kTMax) - log_min) / (kPeriods - 1);
+  for (int i = 0; i < kPeriods; ++i) {
+    grid.periods.push_back(std::exp(log_min + step * i));
+  }
+  grid.dampings = {0.0, 0.02, 0.05, 0.10, 0.20};
+  return grid;
+}
+
+Result<Unit, SpectrumError> validate_grid(const ResponseGrid& grid) {
+  if (grid.periods.empty() || grid.dampings.empty()) {
+    return SpectrumError{SpectrumError::Code::kBadGrid,
+                         "grid needs at least one period and one damping"};
+  }
+  for (std::size_t i = 0; i < grid.periods.size(); ++i) {
+    const double t = grid.periods[i];
+    if (!std::isfinite(t) || t <= 0) {
+      return SpectrumError{SpectrumError::Code::kBadGrid,
+                           "period " + std::to_string(i) +
+                               " is not finite and positive"};
+    }
+    if (i > 0 && t <= grid.periods[i - 1]) {
+      return SpectrumError{SpectrumError::Code::kBadGrid,
+                           "periods must be strictly ascending"};
+    }
+  }
+  for (std::size_t i = 0; i < grid.dampings.size(); ++i) {
+    const double z = grid.dampings[i];
+    if (!std::isfinite(z) || z < 0 || z >= 1) {
+      return SpectrumError{SpectrumError::Code::kBadGrid,
+                           "damping " + std::to_string(i) +
+                               " is outside [0, 1)"};
+    }
+    if (i > 0 && z <= grid.dampings[i - 1]) {
+      return SpectrumError{SpectrumError::Code::kBadGrid,
+                           "dampings must be strictly ascending"};
+    }
+  }
+  return Unit{};
+}
+
+Result<ResponseSpectrum, SpectrumError> response_spectrum(
+    const std::vector<double>& acc, double dt, const ResponseGrid& grid) {
+  auto grid_ok = validate_grid(grid);
+  if (!grid_ok.ok()) return grid_ok.error();
+
+  ResponseSpectrum out;
+  out.periods = grid.periods;
+  out.dampings = grid.dampings;
+  const std::size_t cells = grid.periods.size() * grid.dampings.size();
+  out.sd.resize(cells);
+  out.sv.resize(cells);
+  out.sa.resize(cells);
+
+  // The parallelization surface: each (d, p) cell reads only the shared
+  // input and writes only its own three slots.
+  for (std::size_t d = 0; d < grid.dampings.size(); ++d) {
+    for (std::size_t p = 0; p < grid.periods.size(); ++p) {
+      auto cell =
+          sdof_peak_response(acc, dt, grid.periods[p], grid.dampings[d]);
+      if (!cell.ok()) return cell.error();
+      const std::size_t i = out.index(d, p);
+      out.sd[i] = cell.value().sd;
+      out.sv[i] = cell.value().sv;
+      out.sa[i] = cell.value().sa;
+    }
+  }
+  return out;
+}
+
+}  // namespace acx::spectrum

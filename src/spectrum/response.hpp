@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spectrum/error.hpp"
+#include "util/result.hpp"
+
+namespace acx::spectrum {
+
+// Peak response of one single-degree-of-freedom oscillator: maximum
+// absolute relative displacement (SD, cm), relative velocity (SV,
+// cm/s) and absolute acceleration (SA, cm/s2) over the record.
+struct SdofPeaks {
+  double sd = 0.0;
+  double sv = 0.0;
+  double sa = 0.0;
+};
+
+// One (period, damping) cell of the response-spectrum grid, evaluated
+// with the exact Nigam–Jennings recurrence (docs/SPECTRUM.md): the SDOF
+// equation is solved in closed form over each sampling interval under
+// piecewise-linear excitation, so the only discretization is the
+// sampling of the input itself. This is the paper's Stage IX kernel.
+//
+// Every cell is independent of every other cell — the upcoming OpenMP
+// drivers parallelize over (record x period) by calling this function
+// from concurrent iterations without any shared state.
+//
+// `acc` is ground acceleration (cm/s2), `period` in seconds (> 0),
+// `damping` the fraction of critical in [0, 1).
+Result<SdofPeaks, SpectrumError> sdof_peak_response(
+    const std::vector<double>& acc, double dt, double period, double damping);
+
+// The (period, damping) grid of an R output. Periods and dampings must
+// be finite, strictly ascending; periods positive; dampings in [0, 1).
+struct ResponseGrid {
+  std::vector<double> periods;   // seconds
+  std::vector<double> dampings;  // fraction of critical
+};
+
+// The paper's Stage IX grid: 600 log-spaced periods in [0.02 s, 10 s]
+// and the five standard damping ratios {0, 2, 5, 10, 20} % of critical
+// (600 x 5 x 3 quantities = 9000 values per component).
+ResponseGrid paper_grid();
+
+// Grid sanity shared by response_spectrum and the R-format writer.
+Result<Unit, SpectrumError> validate_grid(const ResponseGrid& grid);
+
+// Full response spectrum: SD/SV/SA for every grid cell, damping-major
+// (value for dampings[d], periods[p] at index d * periods.size() + p).
+struct ResponseSpectrum {
+  std::vector<double> periods;
+  std::vector<double> dampings;
+  std::vector<double> sd, sv, sa;  // each dampings.size() * periods.size()
+
+  std::size_t index(std::size_t d, std::size_t p) const {
+    return d * periods.size() + p;
+  }
+};
+
+// Evaluates sdof_peak_response over the grid. The loop body is the
+// parallelization surface: cells touch only their own output slots.
+Result<ResponseSpectrum, SpectrumError> response_spectrum(
+    const std::vector<double>& acc, double dt, const ResponseGrid& grid);
+
+}  // namespace acx::spectrum

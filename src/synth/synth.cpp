@@ -93,13 +93,54 @@ formats::Record make_record(const EventSpec& spec, const SynthConfig& cfg,
   const double offset = 40.0 * (rng.next_double() - 0.5);
   const double drift = 2.0 * (rng.next_double() - 0.5) / duration;
 
-  rec.samples.resize(static_cast<std::size_t>(n));
+  // Enveloped Gaussian noise, then Kanai–Tajimi-style band shaping:
+  // white noise has no spectral corners, so the FPL/FSL search would
+  // have nothing physical to find. Two cascaded one-pole low-passes at
+  // kBandHighHz and two DC-blocking high-passes at kBandLowHz put the
+  // ground-motion energy in a band, like a real accelerogram (the
+  // rolloffs are 12 dB/octave each way).
+  constexpr double kBandLowHz = 1.0;
+  constexpr double kBandHighHz = 12.0;
+  std::vector<double> noise(static_cast<std::size_t>(n));
   for (long i = 0; i < n; ++i) {
     const double t = static_cast<double>(i) * spec.dt;
     const double rise = t / t_peak;
     const double envelope = rise * rise * std::exp(-decay * (t - t_peak));
-    const double a = envelope * rng.next_gaussian();
-    rec.samples[static_cast<std::size_t>(i)] = gain * a + offset + drift * t;
+    noise[static_cast<std::size_t>(i)] = envelope * rng.next_gaussian();
+  }
+  const double alpha =
+      1.0 - std::exp(-2.0 * 3.14159265358979323846 * kBandHighHz * spec.dt);
+  const double rho =
+      std::exp(-2.0 * 3.14159265358979323846 * kBandLowHz * spec.dt);
+  double raw_rms = 0;
+  for (const double v : noise) raw_rms += v * v;
+  for (int pass = 0; pass < 2; ++pass) {
+    double lp = 0;
+    for (double& v : noise) {
+      lp += alpha * (v - lp);
+      v = lp;
+    }
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    double hp = 0, prev = 0;
+    for (double& v : noise) {
+      const double x = v;
+      hp = rho * (hp + x - prev);
+      prev = x;
+      v = hp;
+    }
+  }
+  // Re-normalize so the shaping does not change the record's RMS level.
+  double shaped_rms = 0;
+  for (const double v : noise) shaped_rms += v * v;
+  const double level =
+      shaped_rms > 0 ? std::sqrt(raw_rms / shaped_rms) : 1.0;
+
+  rec.samples.resize(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * spec.dt;
+    rec.samples[static_cast<std::size_t>(i)] =
+        gain * level * noise[static_cast<std::size_t>(i)] + offset + drift * t;
   }
   return rec;
 }

@@ -1,18 +1,22 @@
-// The docs/SIGNAL.md worked example, enforced: the exact dataset named
-// there (paper event 1, scale 0.02, seed 42) is regenerated, run
-// through the full correction chain, and record SS01l's PGA/PGV/PGD
-// must match the values printed in the doc to 1e-6 relative. If a
-// kernel change shifts the numbers, the doc must move with it — this
-// test is the tripwire.
+// The docs' worked examples, enforced. docs/SIGNAL.md: the exact
+// dataset named there (paper event 1, scale 0.02, seed 42) is
+// regenerated, run through the full correction chain, and record
+// SS01l's PGA/PGV/PGD must match the values printed in the doc to
+// 1e-6 relative. docs/SPECTRUM.md: the closed-form oscillator peaks
+// printed there must match the Nigam–Jennings kernel. If a kernel
+// change shifts the numbers, the doc must move with it — these tests
+// are the tripwire.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "formats/v2.hpp"
 #include "pipeline/runner.hpp"
+#include "spectrum/response.hpp"
 #include "synth/synth.hpp"
 #include "test_helpers.hpp"
 
@@ -94,6 +98,56 @@ TEST(Contract, WorkedExamplePeaksMatchSignalDoc) {
     EXPECT_NEAR(check.got.value, doc_value,
                 1e-6 * std::fabs(doc_value) + 1e-12);
     EXPECT_NEAR(check.got.time, doc_time, 1e-6 * doc_time + 1e-12);
+  }
+}
+
+// First "<TAG> <value>" line of a doc block (single-number variant).
+bool find_value_line(const std::string& doc, const std::string& tag,
+                     double& value) {
+  std::size_t pos = 0;
+  while ((pos = doc.find(tag + " ", pos)) != std::string::npos) {
+    if (pos != 0 && doc[pos - 1] != '\n') {
+      ++pos;
+      continue;
+    }
+    const char* s = doc.c_str() + pos + tag.size() + 1;
+    char* end = nullptr;
+    value = std::strtod(s, &end);
+    if (end != s) return true;
+    ++pos;
+  }
+  return false;
+}
+
+TEST(Contract, WorkedExampleOscillatorMatchesSpectrumDoc) {
+  // docs/SPECTRUM.md prints the closed-form peaks of an undamped
+  // 2 s oscillator under a 100 cm/s2 ground step; the Nigam–Jennings
+  // kernel must reproduce them to 1e-6 relative.
+  RealFileSystem fs;
+  auto doc = fs.read_file(std::filesystem::path(ACX_SOURCE_DIR) / "docs" /
+                          "SPECTRUM.md");
+  ASSERT_TRUE(doc.ok()) << "docs/SPECTRUM.md missing";
+
+  const double a0 = 100.0;
+  const double dt = 0.005;
+  const std::vector<double> acc(static_cast<std::size_t>(2.0 / dt) + 1, a0);
+  auto peaks = spectrum::sdof_peak_response(acc, dt, 2.0, 0.0);
+  ASSERT_TRUE(peaks.ok()) << peaks.error().to_string();
+
+  const struct {
+    const char* tag;
+    double got;
+  } kChecks[] = {
+      {"SD", peaks.value().sd},
+      {"SV", peaks.value().sv},
+      {"SA", peaks.value().sa},
+  };
+  for (const auto& check : kChecks) {
+    SCOPED_TRACE(check.tag);
+    double doc_value = 0;
+    ASSERT_TRUE(find_value_line(doc.value(), check.tag, doc_value))
+        << "docs/SPECTRUM.md has no '" << check.tag << " <value>' line";
+    EXPECT_NEAR(check.got, doc_value, 1e-6 * std::fabs(doc_value));
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 
+#include "formats/spectra.hpp"
 #include "formats/v1.hpp"
 #include "formats/v2.hpp"
 
@@ -366,6 +367,193 @@ TEST(V1Diagnostics, ByteOffsetsPointAtTheFault) {
   EXPECT_EQ(rc.error().code, ParseError::Code::kMalformedNumber);
   EXPECT_EQ(rc.error().byte_offset, cell_off);
   EXPECT_EQ(rc.error().line, 11u);  // magic + 7 header + DATA + row1 -> row2
+}
+
+// --- F / R spectral formats ----------------------------------------------
+
+FRecord make_f_record(bool with_corners = true) {
+  FRecord f;
+  f.header.station = "SS01";
+  f.header.component = "l";
+  f.header.event_id = "EV06";
+  f.header.date = "2019-07-07";
+  f.header.dt = 0.005;
+  f.nfft = 64;
+  f.header.npts = f.nfft / 2 + 1;
+  f.header.units = "cm/s";
+  f.df = 1.0 / (static_cast<double>(f.nfft) * f.header.dt);
+  f.window = "hann";
+  f.has_corners = with_corners;
+  if (with_corners) {
+    f.fsl_hz = 0.4;
+    f.fpl_hz = 24.5;
+  }
+  for (long k = 0; k < f.header.npts; ++k) {
+    f.amplitude.push_back(0.25 + 0.01 * static_cast<double>(k % 11));
+  }
+  return f;
+}
+
+RRecord make_r_record() {
+  RRecord r;
+  r.header.station = "SS02";
+  r.header.component = "t";
+  r.header.event_id = "EV03";
+  r.header.date = "2018-01-24";
+  r.header.dt = 0.005;
+  r.dampings = {0.0, 0.05, 0.20};
+  r.periods = {0.02, 0.1, 1.0, 10.0};
+  r.header.npts = static_cast<long>(r.periods.size());
+  const std::size_t cells = r.dampings.size() * r.periods.size();
+  for (std::size_t i = 0; i < cells; ++i) {
+    r.sd.push_back(1.0 + 0.1 * static_cast<double>(i));
+    r.sv.push_back(2.0 + 0.1 * static_cast<double>(i));
+    r.sa.push_back(3.0 + 0.1 * static_cast<double>(i));
+  }
+  return r;
+}
+
+TEST(FFormat, WriterReaderRoundTrip) {
+  const FRecord f = make_f_record();
+  auto back = read_f(write_f(f));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  const FRecord& g = back.value();
+  EXPECT_EQ(g.header.id(), f.header.id());
+  EXPECT_EQ(g.header.units, "cm/s");
+  EXPECT_EQ(g.nfft, f.nfft);
+  EXPECT_EQ(g.window, f.window);
+  EXPECT_NEAR(g.df, f.df, 1e-12);
+  ASSERT_TRUE(g.has_corners);
+  EXPECT_NEAR(g.fsl_hz, f.fsl_hz, 1e-9);
+  EXPECT_NEAR(g.fpl_hz, f.fpl_hz, 1e-9);
+  ASSERT_EQ(g.amplitude.size(), f.amplitude.size());
+  for (std::size_t i = 0; i < g.amplitude.size(); ++i) {
+    EXPECT_NEAR(g.amplitude[i], f.amplitude[i],
+                1e-4 * std::fabs(f.amplitude[i]) + 1e-12);
+  }
+}
+
+TEST(FFormat, CornerBlockIsOptionalButAllOrNothing) {
+  const FRecord f = make_f_record(/*with_corners=*/false);
+  const std::string text = write_f(f);
+  EXPECT_EQ(text.find("FSL"), std::string::npos);
+  auto back = read_f(text);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_FALSE(back.value().has_corners);
+
+  // A lone FSL without FPL must be rejected as a partial corner block.
+  const std::string partial = replace_first(
+      write_f(make_f_record()), "FPL", "XPL");
+  auto bad = read_f(partial);
+  ASSERT_FALSE(bad.ok());
+}
+
+TEST(FFormat, RejectsInconsistentHeaders) {
+  {
+    // NPTS must equal NFFT/2 + 1.
+    FRecord f = make_f_record();
+    auto bad = read_f(replace_first(write_f(f), "NPTS 33", "NPTS 32"));
+    ASSERT_FALSE(bad.ok());
+  }
+  {
+    // DF must match 1 / (NFFT * DT).
+    FRecord f = make_f_record();
+    f.df *= 1.5;
+    auto bad = read_f(write_f(f));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ParseError::Code::kBadValue);
+  }
+  {
+    // Amplitudes are magnitudes: negative cells are corrupt.
+    FRecord f = make_f_record();
+    f.amplitude[3] = -1.0;
+    auto bad = read_f(write_f(f));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ParseError::Code::kBadValue);
+  }
+  {
+    // Wrong units for a FAS.
+    auto bad = read_f(replace_first(write_f(make_f_record()),
+                                    "UNITS cm/s", "UNITS cm/s2"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ParseError::Code::kBadUnits);
+  }
+  {
+    // Unknown window name.
+    auto bad = read_f(replace_first(write_f(make_f_record()),
+                                    "WINDOW hann", "WINDOW tukey"));
+    ASSERT_FALSE(bad.ok());
+  }
+}
+
+TEST(FFormat, RejectsV1Magic) {
+  auto bad = read_f(write_v1(make_record(8)));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ParseError::Code::kBadMagic);
+}
+
+TEST(RFormat, WriterReaderRoundTrip) {
+  const RRecord r = make_r_record();
+  auto back = read_r(write_r(r));
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  const RRecord& s = back.value();
+  EXPECT_EQ(s.header.id(), r.header.id());
+  ASSERT_EQ(s.dampings.size(), r.dampings.size());
+  ASSERT_EQ(s.periods.size(), r.periods.size());
+  for (std::size_t d = 0; d < r.dampings.size(); ++d) {
+    EXPECT_NEAR(s.dampings[d], r.dampings[d], 1e-9);
+    for (std::size_t p = 0; p < r.periods.size(); ++p) {
+      const std::size_t i = r.index(d, p);
+      EXPECT_NEAR(s.sd[i], r.sd[i], 1e-4 * r.sd[i]);
+      EXPECT_NEAR(s.sv[i], r.sv[i], 1e-4 * r.sv[i]);
+      EXPECT_NEAR(s.sa[i], r.sa[i], 1e-4 * r.sa[i]);
+    }
+  }
+}
+
+TEST(RFormat, RejectsBadGrids) {
+  {
+    // Dampings must ascend.
+    auto bad = read_r(replace_first(
+        write_r(make_r_record()), "DAMPINGS", "DAMPINGS 9.000000e-01,"));
+    ASSERT_FALSE(bad.ok());
+  }
+  {
+    // Periods must ascend: swap breaks monotonicity via a doctored
+    // record rather than text surgery on the fixed-column block.
+    RRecord r = make_r_record();
+    std::swap(r.periods[1], r.periods[2]);
+    auto bad = read_r(write_r(r));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ParseError::Code::kBadValue);
+  }
+  {
+    // Negative spectral ordinates are corrupt.
+    RRecord r = make_r_record();
+    r.sa[0] = -5.0;
+    auto bad = read_r(write_r(r));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ParseError::Code::kBadValue);
+  }
+  {
+    // Truncated data block.
+    const std::string text = write_r(make_r_record());
+    const auto end_pos = text.rfind("END");
+    std::string truncated = text.substr(0, text.rfind('\n', end_pos - 2));
+    truncated += "\nEND\n";
+    auto bad = read_r(truncated);
+    ASSERT_FALSE(bad.ok());
+  }
+}
+
+TEST(RFormat, RejectsMissingDampings) {
+  std::string text = write_r(make_r_record());
+  const auto pos = text.find("DAMPINGS");
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, text.find('\n', pos) - pos + 1);
+  auto bad = read_r(text);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ParseError::Code::kMissingHeaderField);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "formats/spectra.hpp"
 #include "formats/v1.hpp"
 #include "formats/v2.hpp"
 #include "pipeline/runner.hpp"
@@ -54,8 +55,9 @@ TEST(Pipeline, HappyPathProducesAllOutputsAndCleanReport) {
     ASSERT_TRUE(v2.ok()) << v2.error().to_string();
     EXPECT_EQ(v2.value().record.header.units, "cm/s2");
     EXPECT_EQ(v2.value().processing,
-              (std::vector<std::string>{"calibrate", "demean", "bandpass",
-                                        "detrend", "integrate", "peaks",
+              (std::vector<std::string>{"calibrate", "demean", "corners",
+                                        "bandpass", "detrend", "integrate",
+                                        "peaks", "fourier", "response",
                                         "write_v2"}));
     // Demean + band-pass + detrend really happened: mean is ~0.
     const auto& s = v2.value().record.samples;
@@ -70,6 +72,22 @@ TEST(Pipeline, HappyPathProducesAllOutputsAndCleanReport) {
                 1e-4 * max_abs);  // %12.4e data cells keep 5 digits
     // Processing history rode along as comments.
     EXPECT_FALSE(v2.value().comments.empty());
+    // The spectral outputs are claimed alongside the V2 and pass their
+    // own strict readers.
+    ASSERT_EQ(r.outputs.size(), 3u);
+    EXPECT_EQ(r.outputs[0], r.output);
+    auto f_content = fs.read_file(r.outputs[1]);
+    ASSERT_TRUE(f_content.ok());
+    auto f = formats::read_f(f_content.value());
+    ASSERT_TRUE(f.ok()) << f.error().to_string();
+    EXPECT_EQ(f.value().header.id(), r.record);
+    auto r_content = fs.read_file(r.outputs[2]);
+    ASSERT_TRUE(r_content.ok());
+    auto rr = formats::read_r(r_content.value());
+    ASSERT_TRUE(rr.ok()) << rr.error().to_string();
+    EXPECT_EQ(rr.value().header.id(), r.record);
+    EXPECT_EQ(rr.value().periods.size(), 600u);
+    EXPECT_EQ(rr.value().dampings.size(), 5u);
   }
 
   const ValidationSummary audit = validate_workdir(fs, work);
@@ -192,10 +210,22 @@ TEST(Pipeline, ReportCarriesPerStageWallClock) {
   const auto totals = report.stage_totals();
   for (const char* stage :
        {"scratch_setup", "stage_in", "parse", "calibrate", "demean",
-        "bandpass", "detrend", "integrate", "peaks", "write_v2"}) {
+        "corners", "bandpass", "detrend", "integrate", "peaks", "fourier",
+        "response", "write_v2"}) {
     ASSERT_TRUE(totals.count(stage)) << stage;
     EXPECT_GE(totals.at(stage), 0.0) << stage;
   }
+  // Stage shares sum to 1 and cover the same stages (the handle for the
+  // paper's "Stage IX is 57.2% of the sequential run" measurement).
+  const auto shares = report.stage_shares();
+  EXPECT_EQ(shares.size(), totals.size());
+  double share_sum = 0.0;
+  for (const auto& [stage, share] : shares) {
+    ASSERT_TRUE(totals.count(stage)) << stage;
+    EXPECT_GE(share, 0.0);
+    share_sum += share;
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
 
   // The timings survive the JSON round trip (acx_validate relies on it).
   auto text = fs.read_file(work / kRunReportFileName);
