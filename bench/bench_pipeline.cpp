@@ -1,0 +1,102 @@
+// End-to-end driver economics: one full event run per iteration, over
+// the paper's largest evaluation event (19 files, 384K data points,
+// scaled down to keep CI iterations sane). The four drivers appear as
+// four benches; the seq/seq-opt pair is what the CI regression gate
+// watches (the parallel pair varies with the runner's core count, so
+// it is measured and uploaded but not gated — see bench/baseline.json).
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "pipeline/runner.hpp"
+#include "synth/synth.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+namespace stdfs = std::filesystem;
+
+// One synth input tree per process, built lazily and shared by every
+// bench: the input is immutable, only work dirs are per-iteration.
+const stdfs::path& bench_input() {
+  static const stdfs::path input = [] {
+    const stdfs::path dir = stdfs::temp_directory_path() /
+                            ("acx-bench-pipeline-" + std::to_string(::getpid()));
+    acx::RealFileSystem fs;
+    // Event 6 of the paper: 19 files. scale keeps a whole event run in
+    // the tens of milliseconds so the bench converges quickly.
+    acx::synth::EventSpec spec = acx::synth::paper_events().back();
+    acx::synth::SynthConfig cfg;
+    cfg.scale = 0.05;
+    auto built = acx::synth::build_event_dataset(fs, dir / "input", spec, cfg);
+    if (!built.ok()) std::abort();
+    return dir;
+  }();
+  return input;
+}
+
+void run_driver(benchmark::State& state, acx::pipeline::Driver driver,
+                int threads) {
+  acx::RealFileSystem fs;
+  acx::pipeline::RunnerConfig cfg;
+  cfg.driver = driver;
+  cfg.threads = threads;
+  cfg.sleep = [](int) {};
+  const stdfs::path work = bench_input() / "work";
+
+  std::size_t records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)fs.remove_all(work);  // fresh work dir, reused input
+    state.ResumeTiming();
+    auto run = acx::pipeline::run_pipeline(fs, bench_input() / "input", work,
+                                           cfg);
+    if (!run.ok() || run.value().count_quarantined() != 0) std::abort();
+    records = run.value().records.size();
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(records));
+  state.counters["records"] = static_cast<double>(records);
+}
+
+void BM_PipelineSeq(benchmark::State& state) {
+  run_driver(state, acx::pipeline::Driver::kSequential, 1);
+}
+
+void BM_PipelineSeqOpt(benchmark::State& state) {
+  run_driver(state, acx::pipeline::Driver::kSequentialOptimized, 1);
+}
+
+void BM_PipelinePartial(benchmark::State& state) {
+  run_driver(state, acx::pipeline::Driver::kPartialParallel,
+             static_cast<int>(state.range(0)));
+}
+
+void BM_PipelineFull(benchmark::State& state) {
+  run_driver(state, acx::pipeline::Driver::kFullParallel,
+             static_cast<int>(state.range(0)));
+}
+
+// UseRealTime: the OpenMP team's work does not land on the main
+// thread's CPU clock, so wall clock is the honest metric end to end.
+BENCHMARK(BM_PipelineSeq)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_PipelineSeqOpt)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_PipelinePartial)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_PipelineFull)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -41,10 +41,20 @@ done
 # 3. The report schema keys documented in docs/PIPELINE.md must still
 #    exist in the writer (catches a schema rename that forgets the doc).
 for key in version total_seconds stage_totals stage_shares counts records \
-           seconds outputs; do
+           seconds outputs driver threads speedup_vs_sequential; do
   if ! grep -q "\"$key\"" src/pipeline/report.cpp; then
     echo "docs-rot: docs/PIPELINE.md documents run-report key '$key'" \
          "but src/pipeline/report.cpp no longer emits it" >&2
+    fail=1
+  fi
+done
+
+# 3b. The four driver names the docs advertise must stay the spellings
+#     the CLI parses (catches a rename that forgets README/PIPELINE.md).
+for d in seq seq-opt partial full; do
+  if ! grep -q "\"$d\"" src/pipeline/config.hpp; then
+    echo "docs-rot: documented driver name '$d' is no longer parsed by" \
+         "src/pipeline/config.hpp" >&2
     fail=1
   fi
 done

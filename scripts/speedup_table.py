@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Render the paper's Table-I-style driver comparison from run reports.
+
+Usage:
+    speedup_table.py BASELINE_REPORT OTHER_REPORT [OTHER_REPORT ...]
+
+``BASELINE_REPORT`` is the run_report.json of a sequential run (the
+paper's Sequential Original); each ``OTHER_REPORT`` is any other
+driver's report over the same workload.  Emits one row per stage with
+the summed wall clock under each driver and the end-to-end total with
+its speedup versus the baseline — the reproduction of the paper's
+Table I comparison (2.4x-2.9x for the fully parallelized driver on
+their machines).
+
+Exit codes: 0 ok, 2 usage/input error (schema mismatch, different
+record sets, zero-time baseline).
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 4
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"speedup_table: cannot read {path}: {exc}")
+    if doc.get("version") != SCHEMA_VERSION:
+        raise SystemExit(
+            f"speedup_table: {path} is schema v{doc.get('version')}, "
+            f"need v{SCHEMA_VERSION}")
+    for key in ("driver", "threads", "total_seconds", "stage_totals",
+                "records"):
+        if key not in doc:
+            raise SystemExit(f"speedup_table: {path} lacks '{key}'")
+    return doc
+
+
+def column_label(doc):
+    label = doc["driver"]
+    if doc["driver"] in ("partial", "full"):
+        label += f" (t={doc['threads']})"
+    return label
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    reports = [load_report(path) for path in argv]
+    base = reports[0]
+
+    base_records = sorted(r["record"] for r in base["records"])
+    for doc, path in zip(reports[1:], argv[1:]):
+        records = sorted(r["record"] for r in doc["records"])
+        if records != base_records:
+            raise SystemExit(
+                f"speedup_table: {path} processed a different record set "
+                "than the baseline; the comparison would be meaningless")
+
+    # Stage rows in baseline (execution-order-ish: registry order is not
+    # available here, so sort by baseline cost, heaviest first — the
+    # paper's tables lead with the dominant stages too).
+    stages = sorted(base["stage_totals"],
+                    key=lambda s: -base["stage_totals"][s])
+    for doc in reports[1:]:
+        for stage in doc["stage_totals"]:
+            if stage not in stages:
+                stages.append(stage)
+
+    labels = [column_label(doc) for doc in reports]
+    stage_w = max([len("stage"), len("TOTAL")] + [len(s) for s in stages])
+    col_w = max([12] + [len(lbl) + 2 for lbl in labels])
+
+    def row(name, cells):
+        return name.ljust(stage_w) + "".join(c.rjust(col_w) for c in cells)
+
+    print(row("stage", labels))
+    print("-" * (stage_w + col_w * len(labels)))
+    for stage in stages:
+        cells = []
+        for doc in reports:
+            seconds = doc["stage_totals"].get(stage)
+            cells.append("-" if seconds is None else f"{seconds:.4f}s")
+        print(row(stage, cells))
+    print("-" * (stage_w + col_w * len(labels)))
+    print(row("TOTAL", [f"{doc['total_seconds']:.4f}s" for doc in reports]))
+
+    if base["total_seconds"] <= 0:
+        raise SystemExit("speedup_table: baseline total_seconds is zero")
+    speedups = ["1.00x"]
+    for doc in reports[1:]:
+        if doc["total_seconds"] > 0:
+            speedups.append(f"{base['total_seconds'] / doc['total_seconds']:.2f}x")
+        else:
+            speedups.append("-")
+    print(row("speedup", speedups))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "pipeline/stage.hpp"
+#include "util/retry.hpp"
+
+namespace acx::pipeline {
+
+// The four pipeline implementations of the paper, selected at run time
+// (acx_process --driver ...). Each is a Scheduler over the same
+// StageGraph (src/pipeline/graph.hpp):
+//   kSequential          — §III  Sequential Original: every stage of the
+//                          full graph, redundant processes included, one
+//                          record after another.
+//   kSequentialOptimized — §IV   Sequential Optimized: the pruned graph
+//                          (redundant stages removed), still one record
+//                          at a time.
+//   kPartialParallel     — §V    Partially Parallelized: the pruned
+//                          graph executed stage-by-stage, each
+//                          parallel-safe stage fanned across records
+//                          with an OpenMP loop and a barrier between
+//                          stages.
+//   kFullParallel        — §VI   Fully Parallelized: record-level OpenMP
+//                          fan-out over the whole pruned graph, with the
+//                          response stage's period loop as a nested
+//                          `omp for`.
+enum class Driver {
+  kSequential,
+  kSequentialOptimized,
+  kPartialParallel,
+  kFullParallel,
+};
+
+// The CLI/report spellings: "seq", "seq-opt", "partial", "full".
+inline const char* to_string(Driver d) {
+  switch (d) {
+    case Driver::kSequential: return "seq";
+    case Driver::kSequentialOptimized: return "seq-opt";
+    case Driver::kPartialParallel: return "partial";
+    case Driver::kFullParallel: return "full";
+  }
+  return "seq";
+}
+
+inline std::optional<Driver> parse_driver(std::string_view name) {
+  if (name == "seq") return Driver::kSequential;
+  if (name == "seq-opt") return Driver::kSequentialOptimized;
+  if (name == "partial") return Driver::kPartialParallel;
+  if (name == "full") return Driver::kFullParallel;
+  return std::nullopt;
+}
+
+// True for the drivers that run records concurrently (and therefore
+// always keep going: fail-fast needs a serial notion of "first").
+inline bool is_parallel(Driver d) {
+  return d == Driver::kPartialParallel || d == Driver::kFullParallel;
+}
+
+// True for the drivers that execute the pruned graph (every driver
+// except Sequential Original, which runs the redundant stages too).
+inline bool prunes_redundant(Driver d) { return d != Driver::kSequential; }
+
+// Deterministic stage-crash injection: kill `stage` on its k-th
+// invocation counted across the whole run. Poison by default (models a
+// process crash on a specific record); transient=true models a flaky
+// stage that succeeds when retried. Under the parallel drivers the
+// count is still exact (it is taken under a lock) but which record
+// draws the k-th invocation depends on thread interleaving.
+struct StageFault {
+  std::string stage;
+  int kill_on_invocation = 0;  // 1-based; 0 disables
+  bool transient = false;
+};
+
+struct RunnerConfig {
+  // Which of the four paper implementations executes the stage graph.
+  Driver driver = Driver::kSequential;
+  // OpenMP team size for the parallel drivers; 0 = the OpenMP default
+  // (all hardware threads). Ignored by the sequential drivers.
+  int threads = 0;
+  // total_seconds of a sequential baseline report; when > 0 the run
+  // report carries speedup_vs_sequential = baseline / this run.
+  double baseline_total_seconds = 0;
+  RetryPolicy retry;
+  // Backoff sleep; defaults to a real sleep, tests inject a no-op.
+  SleepFn sleep;
+  StageFault stage_fault;
+  // Fallback band corners / FIR length / gain of the V2 correction chain.
+  CorrectionConfig correction;
+  // FAS, corner-search and response-grid parameters of the spectral
+  // stages (corners, fourier, response).
+  SpectrumConfig spectrum;
+  // keep_going=true is the production mode: quarantine poisoned records
+  // and continue the event run with the survivors. false stops at the
+  // first quarantined record (still writing the report) — sequential
+  // drivers only; the parallel drivers always keep going.
+  bool keep_going = true;
+};
+
+}  // namespace acx::pipeline

@@ -1,0 +1,163 @@
+#include "pipeline/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace acx::pipeline {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+StageError from_io(const IoError& e) {
+  return StageError{e.klass, std::string("io.") + slug(e.code), e.to_string()};
+}
+
+}  // namespace
+
+RecordExecutor::RecordExecutor(FileSystem& fs, const RunnerConfig& cfg)
+    : fs_(fs), cfg_(cfg) {}
+
+void RecordExecutor::instantiate(const StageGraph& graph,
+                                 bool prune_redundant) {
+  plan_.clear();
+  for (const StageNode* node : graph.plan(prune_redundant)) {
+    plan_.push_back({node, node->make()});
+  }
+}
+
+RecordSlot RecordExecutor::make_slot(const stdfs::path& input,
+                                     const stdfs::path& work_dir) const {
+  RecordSlot slot;
+  slot.outcome.record = input.stem().string();
+  slot.outcome.input = input.string();
+  slot.ctx.fs = &fs_;
+  slot.ctx.input_path = input;
+  slot.ctx.scratch_dir = work_dir / "scratch" / slot.outcome.record;
+  slot.ctx.out_dir = work_dir / "out";
+  slot.ctx.record_id = slot.outcome.record;
+  return slot;
+}
+
+Result<Unit, StageError> RecordExecutor::run_stage_once(Stage& stage,
+                                                        RecordContext& ctx) {
+  int invocation = 0;
+  {
+    std::lock_guard<std::mutex> lock(invocations_mu_);
+    invocation = ++invocations_[stage.name()];
+  }
+  const StageFault& f = cfg_.stage_fault;
+  if (!f.stage.empty() && f.stage == stage.name() &&
+      invocation == f.kill_on_invocation) {
+    return StageError{
+        f.transient ? ErrorClass::kTransient : ErrorClass::kPoison,
+        std::string("stage_crash.") + stage.name(),
+        "injected stage fault on invocation " + std::to_string(invocation)};
+  }
+  return stage.run(ctx);
+}
+
+bool RecordExecutor::run_step(
+    const std::string& name, RecordOutcome& outcome, StageError& failure,
+    const std::function<Result<Unit, StageError>()>& fn) {
+  int attempts = 0;
+  const auto started = std::chrono::steady_clock::now();
+  auto r = run_with_retry<Unit, StageError>(
+      cfg_.retry, cfg_.sleep,
+      [](const StageError& e) { return e.klass; }, fn, &attempts);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+  StageAttempt attempt;
+  attempt.stage = name;
+  attempt.attempts = attempts;
+  attempt.ok = r.ok();
+  attempt.seconds = elapsed.count();
+  if (!r.ok()) {
+    failure = r.error();
+    attempt.error = failure.reason;
+  }
+  outcome.retries += attempts - 1;
+  outcome.seconds += attempt.seconds;
+  outcome.stages.push_back(std::move(attempt));
+  return r.ok();
+}
+
+void RecordExecutor::setup_scratch(RecordSlot& slot) {
+  const bool ok = run_step("scratch_setup", slot.outcome, slot.failure, [&] {
+    (void)fs_.remove_all(slot.ctx.scratch_dir);
+    auto made = fs_.create_directories(slot.ctx.scratch_dir);
+    if (!made.ok()) {
+      return Result<Unit, StageError>(from_io(made.error()));
+    }
+    return Result<Unit, StageError>(Unit{});
+  });
+  if (!ok) slot.failed = true;
+}
+
+void RecordExecutor::run_stage(RecordSlot& slot, const PlannedStage& ps) {
+  if (slot.failed) return;
+  if (!run_step(ps.node->name, slot.outcome, slot.failure,
+                [&] { return run_stage_once(*ps.stage, slot.ctx); })) {
+    slot.failed = true;
+  }
+}
+
+void RecordExecutor::quarantine_record(const stdfs::path& quarantine_dir,
+                                       RecordSlot& slot) {
+  RecordOutcome& outcome = slot.outcome;
+  outcome.status = RecordOutcome::Status::kQuarantined;
+  outcome.reason = slot.failure.klass == ErrorClass::kPoison
+                       ? slot.failure.reason
+                       : "transient_exhausted." + slot.failure.reason;
+
+  // Preserve the original bytes for post-mortem. If the input itself is
+  // unreadable, quarantine a marker describing why.
+  std::string content = slot.ctx.raw;
+  if (content.empty()) {
+    auto rd = fs_.read_file(slot.ctx.input_path);
+    content = rd.ok() ? std::move(rd).take()
+                      : "<input unreadable: " + rd.error().to_string() + ">\n";
+  }
+  const stdfs::path dest =
+      quarantine_dir / (outcome.record + "." + outcome.reason);
+  auto wrote = run_with_retry<Unit, IoError>(
+      cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },
+      [&] { return atomic_write_file(fs_, dest, content); });
+  if (wrote.ok()) outcome.quarantine = dest.string();
+}
+
+void RecordExecutor::finalize(RecordSlot& slot, const stdfs::path& work_dir) {
+  if (!slot.failed) {
+    slot.outcome.status = RecordOutcome::Status::kOk;
+    slot.outcome.output = slot.ctx.output_path.string();
+    for (const stdfs::path* p : {&slot.ctx.output_path, &slot.ctx.fourier_path,
+                                 &slot.ctx.response_path}) {
+      if (!p->empty()) slot.outcome.outputs.push_back(p->string());
+    }
+    // Byte-stable reports regardless of stage order: outputs are listed
+    // alphabetically (.f, .r, .v2), not in publication order.
+    std::sort(slot.outcome.outputs.begin(), slot.outcome.outputs.end());
+  } else {
+    // Earlier stages may already have published spectra into out/; a
+    // quarantined record must leave no outputs behind, or the validator
+    // (rightly) flags them as unclaimed.
+    for (const stdfs::path* p : {&slot.ctx.output_path, &slot.ctx.fourier_path,
+                                 &slot.ctx.response_path}) {
+      if (!p->empty()) (void)fs_.remove_all(*p);
+    }
+    quarantine_record(work_dir / "quarantine", slot);
+  }
+
+  // Scratch is per-record; drop it either way (best effort — leftovers
+  // are caught by the validator, not silently tolerated).
+  (void)fs_.remove_all(slot.ctx.scratch_dir);
+  slot.processed = true;
+}
+
+void RecordExecutor::run_record(RecordSlot& slot, const stdfs::path& work_dir) {
+  setup_scratch(slot);
+  for (const PlannedStage& ps : plan_) run_stage(slot, ps);
+  finalize(slot, work_dir);
+}
+
+}  // namespace acx::pipeline

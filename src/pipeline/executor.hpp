@@ -1,0 +1,86 @@
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pipeline/config.hpp"
+#include "pipeline/graph.hpp"
+#include "pipeline/report.hpp"
+#include "pipeline/stage.hpp"
+#include "util/fs.hpp"
+
+namespace acx::pipeline {
+
+// One record's unit of scheduling: its context, its report entry, and
+// its failure state. A slot is only ever touched by one thread at a
+// time — the schedulers hand whole slots to threads, never shares of
+// one — so the slot itself needs no locking.
+struct RecordSlot {
+  RecordContext ctx;
+  RecordOutcome outcome;
+  StageError failure;
+  bool failed = false;     // a stage (or scratch setup) failed
+  bool processed = false;  // finalize() ran; the outcome is reportable
+};
+
+// A graph node bound to its (shared, re-entrant) Stage instance.
+struct PlannedStage {
+  const StageNode* node = nullptr;
+  std::unique_ptr<Stage> stage;
+};
+
+// The per-record execution machinery every scheduler shares: stage
+// instantiation from the graph plan, retry with capped backoff,
+// deterministic fault injection, quarantine, and output publication.
+// Thread-safety: the only cross-record state is the fault-injection
+// invocation counter, which is taken under a lock, so any number of
+// threads may drive disjoint slots concurrently.
+class RecordExecutor {
+ public:
+  RecordExecutor(FileSystem& fs, const RunnerConfig& cfg);
+
+  // Instantiates one Stage per surviving graph node, in plan order.
+  void instantiate(const StageGraph& graph, bool prune_redundant);
+  const std::vector<PlannedStage>& plan() const { return plan_; }
+
+  // A fresh slot for one input record under <work_dir>.
+  RecordSlot make_slot(const std::filesystem::path& input,
+                       const std::filesystem::path& work_dir) const;
+
+  // Re-creates the record's private scratch dir (with retry). Failure
+  // marks the slot failed; later run_stage calls become no-ops.
+  void setup_scratch(RecordSlot& slot);
+
+  // Runs one planned stage on the slot (retry + timing + report entry).
+  // No-op when the slot already failed.
+  void run_stage(RecordSlot& slot, const PlannedStage& ps);
+
+  // Publishes the outcome: on success records the (sorted) output list;
+  // on failure removes any partially published outputs and quarantines
+  // the original bytes. Drops the record's scratch dir either way.
+  void finalize(RecordSlot& slot, const std::filesystem::path& work_dir);
+
+  // setup_scratch + every planned stage + finalize, in order — the
+  // whole per-record chain, as the sequential and full drivers run it.
+  void run_record(RecordSlot& slot, const std::filesystem::path& work_dir);
+
+ private:
+  Result<Unit, StageError> run_stage_once(Stage& stage, RecordContext& ctx);
+  bool run_step(const std::string& name, RecordOutcome& outcome,
+                StageError& failure,
+                const std::function<Result<Unit, StageError>()>& fn);
+  void quarantine_record(const std::filesystem::path& quarantine_dir,
+                         RecordSlot& slot);
+
+  FileSystem& fs_;
+  const RunnerConfig& cfg_;
+  std::vector<PlannedStage> plan_;
+  std::mutex invocations_mu_;  // guards the fault-injection counters
+  std::map<std::string, int> invocations_;
+};
+
+}  // namespace acx::pipeline

@@ -1,0 +1,92 @@
+#include "pipeline/graph.hpp"
+
+#include <set>
+
+namespace acx::pipeline {
+
+const StageNode* StageGraph::find(std::string_view name) const {
+  for (const StageNode& node : nodes_) {
+    if (node.name == name) return &node;
+  }
+  return nullptr;
+}
+
+std::vector<const StageNode*> StageGraph::plan(bool prune_redundant) const {
+  std::vector<const StageNode*> out;
+  out.reserve(nodes_.size());
+  for (const StageNode& node : nodes_) {
+    if (prune_redundant && node.redundant) continue;
+    out.push_back(&node);
+  }
+  return out;
+}
+
+Result<Unit, std::string> StageGraph::verify() const {
+  std::set<std::string> seen;
+  for (const StageNode& node : nodes_) {
+    if (node.name.empty()) return std::string("graph has an unnamed stage");
+    if (!node.make) return "stage '" + node.name + "' has no factory";
+    if (!seen.insert(node.name).second) {
+      return "duplicate stage '" + node.name + "'";
+    }
+    for (const std::string& dep : node.deps) {
+      if (!seen.count(dep)) {
+        const bool exists = find(dep) != nullptr;
+        return "stage '" + node.name + "' depends on " +
+               (exists ? "later stage '" : "unknown stage '") + dep +
+               "' (declaration order must be topological)";
+      }
+      if (!node.redundant && find(dep)->redundant) {
+        return "stage '" + node.name + "' depends on redundant stage '" +
+               dep + "'; pruning would sever the edge";
+      }
+    }
+  }
+  return Unit{};
+}
+
+StageGraph StageGraph::standard(const CorrectionConfig& correction,
+                                const SpectrumConfig& spectrum) {
+  auto mk = [correction, spectrum](const char* name) {
+    return [correction, spectrum, name] {
+      return make_stage(name, correction, spectrum);
+    };
+  };
+  StageGraph g;
+  g.add({"stage_in", {}, false, true, mk("stage_in")});
+  g.add({"parse", {"stage_in"}, false, true, mk("parse")});
+  // P#6 analogue: the original pipeline re-validated its input list
+  // after staging; the result duplicates what parse already proved.
+  g.add({"reparse", {"parse"}, true, false, mk("reparse")});
+  g.add({"calibrate", {"parse"}, false, true, mk("calibrate")});
+  g.add({"demean", {"calibrate"}, false, true, mk("demean")});
+  g.add({"corners", {"demean"}, false, true, mk("corners")});
+  // P#12 analogue: a second FAS of the demeaned record, written as a
+  // scratch preview artifact nothing downstream reads.
+  g.add({"fas_preview", {"demean"}, true, false, mk("fas_preview")});
+  g.add({"bandpass", {"corners"}, false, true, mk("bandpass")});
+  g.add({"detrend", {"bandpass"}, false, true, mk("detrend")});
+  g.add({"integrate", {"detrend"}, false, true, mk("integrate")});
+  g.add({"peaks", {"integrate"}, false, true, mk("peaks")});
+  // P#14 analogue: the original pipeline re-extracted the max values it
+  // had already extracted.
+  g.add({"repeaks", {"peaks"}, true, false, mk("repeaks")});
+  g.add({"fourier", {"detrend"}, false, true, mk("fourier")});
+  g.add({"response", {"detrend"}, false, true, mk("response")});
+  g.add({"write_v2", {"peaks", "fourier", "response"}, false, true,
+         mk("write_v2")});
+  return g;
+}
+
+std::vector<std::unique_ptr<Stage>> default_stages(
+    const CorrectionConfig& correction, const SpectrumConfig& spectrum) {
+  // The graph must outlive the plan: plan() returns pointers into it.
+  const StageGraph graph = StageGraph::standard(correction, spectrum);
+  std::vector<std::unique_ptr<Stage>> stages;
+  for (const StageNode* node : graph.plan(/*prune_redundant=*/false)) {
+    stages.push_back(node->make());
+  }
+  return stages;
+}
+
+}  // namespace acx::pipeline

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/stage.hpp"
+#include "util/result.hpp"
+
+namespace acx::pipeline {
+
+// One node of the stage dependency graph. The graph carries what the
+// old fixed stage vector could not express:
+//   deps          — which stages must have completed for this record
+//                   before this one may run (data dependencies, not
+//                   just list position);
+//   redundant     — a paper P#6/P#12/P#14 analogue: work the original
+//                   pipeline performed whose results nothing consumes.
+//                   The optimized variants drop these by *pruning the
+//                   graph*, not by maintaining a second stage list;
+//   parallel_safe — the stage touches only its own record's context
+//                   and scratch dir, so the partial driver may fan it
+//                   across records. Every per-record stage of the
+//                   current chain qualifies; a future cross-record
+//                   stage (event-level catalog, shared plot) would not.
+struct StageNode {
+  std::string name;
+  std::vector<std::string> deps;
+  bool redundant = false;
+  bool parallel_safe = false;
+  // Factory for the node's Stage instance. Instances must be
+  // re-entrant: the schedulers share one instance per node across all
+  // records (and, under the parallel drivers, across threads).
+  std::function<std::unique_ptr<Stage>()> make;
+};
+
+// The declared pipeline: stages, dependency edges, and which of them
+// are redundant. Declaration order doubles as the execution order of
+// the sequential drivers, so verify() insists it is a topological
+// order of the edges.
+class StageGraph {
+ public:
+  // The reproduction's chain with the redundant stages included:
+  //   stage_in -> parse -> reparse* -> calibrate -> demean -> corners
+  //   -> fas_preview* -> bandpass -> detrend -> integrate -> peaks
+  //   -> repeaks* -> fourier -> response -> write_v2
+  // (* = redundant, pruned by every driver except Sequential Original).
+  static StageGraph standard(const CorrectionConfig& correction = {},
+                             const SpectrumConfig& spectrum = {});
+
+  void add(StageNode node) { nodes_.push_back(std::move(node)); }
+  const std::vector<StageNode>& nodes() const { return nodes_; }
+  const StageNode* find(std::string_view name) const;
+
+  // The deterministic execution plan: every node in declaration order,
+  // with the redundant nodes removed when prune_redundant is set. All
+  // four drivers run the same plan objects; they differ only in how
+  // they schedule it.
+  std::vector<const StageNode*> plan(bool prune_redundant) const;
+
+  // Structural audit: unique names, every dep names an earlier node
+  // (declaration order must be topological), and no surviving node
+  // depends on a redundant one (pruning must never sever a live edge).
+  Result<Unit, std::string> verify() const;
+
+ private:
+  std::vector<StageNode> nodes_;
+};
+
+}  // namespace acx::pipeline

@@ -25,11 +25,14 @@
 namespace acx::pipeline {
 
 // Every stage the runner can execute, in chain order (scratch_setup is
-// the runner's own setup step, not a Stage subclass).
+// the executor's own setup step, not a Stage subclass; reparse,
+// fas_preview and repeaks are the redundant stages only the Sequential
+// Original driver runs).
 inline constexpr const char* kStageNames[] = {
-    "scratch_setup", "stage_in", "parse",    "calibrate", "demean",
-    "corners",       "bandpass", "detrend",  "integrate", "peaks",
-    "fourier",       "response", "write_v2",
+    "scratch_setup", "stage_in",  "parse",       "reparse",  "calibrate",
+    "demean",        "corners",   "fas_preview", "bandpass", "detrend",
+    "integrate",     "peaks",     "repeaks",     "fourier",  "response",
+    "write_v2",
 };
 
 inline const std::vector<std::string>& registered_reasons() {
@@ -62,7 +65,9 @@ inline const std::vector<std::string>& registered_reasons() {
     for (IC c : {IC::kNotFound, IC::kOpenFailed, IC::kReadFailed,
                  IC::kWriteFailed, IC::kRenameFailed, IC::kCreateDirFailed,
                  IC::kRemoveFailed, IC::kListFailed, IC::kInjectedReadFault,
-                 IC::kInjectedWriteFault, IC::kInjectedRenameFault}) {
+                 IC::kInjectedWriteFault, IC::kInjectedRenameFault,
+                 IC::kInjectedMkdirFault, IC::kInjectedListFault,
+                 IC::kInjectedRemoveFault, IC::kGraphInvalid}) {
       out.push_back(std::string("io.") + slug(c));
     }
     for (const char* stage : kStageNames) {

@@ -1,6 +1,9 @@
 #include "pipeline/report.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "pipeline/config.hpp"
 
 namespace acx::pipeline {
 
@@ -42,11 +45,74 @@ std::map<std::string, double> RunReport::stage_shares() const {
   return shares;
 }
 
+void RunReport::sort_records() {
+  std::sort(records.begin(), records.end(),
+            [](const RecordOutcome& a, const RecordOutcome& b) {
+              return a.record < b.record;
+            });
+  for (RecordOutcome& r : records) {
+    std::sort(r.outputs.begin(), r.outputs.end());
+  }
+}
+
+namespace {
+
+// Rebase `path` onto a placeholder when it lives under `dir`, so the
+// canonical projection compares across work dirs.
+std::string rebase(const std::string& path, const std::string& dir,
+                   const char* placeholder) {
+  if (!dir.empty() && path.rfind(dir, 0) == 0) {
+    return placeholder + path.substr(dir.size());
+  }
+  return path;
+}
+
+}  // namespace
+
+std::string RunReport::canonical_dump() const {
+  RunReport sorted = *this;
+  sorted.sort_records();
+
+  Json root = Json::object();
+  Json counts = Json::object();
+  counts.set("input", static_cast<int>(records.size()));
+  counts.set("ok", count_ok());
+  counts.set("quarantined", count_quarantined());
+  root.set("counts", std::move(counts));
+
+  Json recs = Json::array();
+  for (const RecordOutcome& r : sorted.records) {
+    Json jr = Json::object();
+    jr.set("record", r.record);
+    jr.set("input", rebase(r.input, input_dir, "<input>"));
+    jr.set("status",
+           r.status == RecordOutcome::Status::kOk ? "ok" : "quarantined");
+    if (r.status == RecordOutcome::Status::kOk) {
+      Json outs = Json::array();
+      for (const std::string& o : r.outputs) {
+        outs.push(Json(rebase(o, work_dir, "<work>")));
+      }
+      jr.set("outputs", std::move(outs));
+    } else {
+      jr.set("reason", r.reason);
+      jr.set("quarantine", rebase(r.quarantine, work_dir, "<work>"));
+    }
+    recs.push(std::move(jr));
+  }
+  root.set("records", std::move(recs));
+  return root.dump(2);
+}
+
 Json RunReport::to_json() const {
   Json root = Json::object();
   root.set("version", kVersion);
   root.set("input_dir", input_dir);
   root.set("work_dir", work_dir);
+  root.set("driver", driver);
+  root.set("threads", threads);
+  if (speedup_vs_sequential > 0) {
+    root.set("speedup_vs_sequential", speedup_vs_sequential);
+  }
   root.set("total_seconds", total_seconds);
 
   Json totals = Json::object();
@@ -120,6 +186,22 @@ Result<RunReport, std::string> RunReport::from_json_text(
   RunReport report;
   report.input_dir = root.get_string("input_dir");
   report.work_dir = root.get_string("work_dir");
+  report.driver = root.get_string("driver");
+  if (!parse_driver(report.driver)) {
+    return "run report driver '" + report.driver + "' is not one of the four";
+  }
+  report.threads = static_cast<int>(root.get_number("threads", 0));
+  if (report.threads < 1) {
+    return std::string("run report threads must be >= 1");
+  }
+  if (const Json* speedup = root.find("speedup_vs_sequential")) {
+    if (!speedup->is_number() || !std::isfinite(speedup->number()) ||
+        speedup->number() <= 0) {
+      return std::string(
+          "run report speedup_vs_sequential is not a positive number");
+    }
+    report.speedup_vs_sequential = speedup->number();
+  }
   report.total_seconds = root.get_number("total_seconds", 0);
   if (report.total_seconds < 0) {
     return std::string("run report total_seconds is negative");

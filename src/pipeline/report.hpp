@@ -37,11 +37,19 @@ struct RecordOutcome {
 
 // The machine-readable outcome of one event run, written atomically to
 // <work_dir>/run_report.json. Schema documented in docs/PIPELINE.md.
+// v4 adds the driver block: which of the four paper implementations
+// ran, with how many threads, and the measured speedup against a
+// sequential baseline when one was supplied.
 struct RunReport {
-  static constexpr int kVersion = 3;
+  static constexpr int kVersion = 4;
 
   std::string input_dir;
   std::string work_dir;
+  std::string driver = "seq";  // "seq" | "seq-opt" | "partial" | "full"
+  int threads = 1;             // resolved team size (1 for sequential)
+  // baseline_total_seconds / total_seconds, when a baseline report was
+  // supplied (acx_process --baseline); 0 = not measured, omitted.
+  double speedup_vs_sequential = 0;
   double total_seconds = 0;  // wall clock of the whole event run
   std::vector<RecordOutcome> records;
 
@@ -56,8 +64,21 @@ struct RunReport {
   // is measured on our own runs: stage_shares()["response"].
   std::map<std::string, double> stage_shares() const;
 
+  // Determinism: records ordered by id, each record's outputs array
+  // sorted. The runner calls this before serializing, so the report is
+  // byte-stable across drivers and thread interleavings (timings aside).
+  void sort_records();
+
   Json to_json() const;
   std::string dump() const { return to_json().dump(2); }
+
+  // The driver-independent projection: record ids, statuses, sorted
+  // outputs and quarantine reasons, and the counts block — with the
+  // work/input dirs rebased to "<work>"/"<input>" placeholders and all
+  // timing-derived values dropped. Byte-identical across the four
+  // drivers (modulo the redundant stages having no observable output)
+  // and across thread counts; the equivalence tests diff it directly.
+  std::string canonical_dump() const;
 
   // Strict re-read (used by acx_validate and the tests).
   static Result<RunReport, std::string> from_json_text(const std::string& text);

@@ -1,21 +1,17 @@
 #include "pipeline/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "formats/v1.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/graph.hpp"
+#include "pipeline/scheduler.hpp"
 
 namespace acx::pipeline {
 
 namespace stdfs = std::filesystem;
-
-namespace {
-
-StageError from_io(const IoError& e) {
-  return StageError{e.klass, std::string("io.") + slug(e.code), e.to_string()};
-}
-
-}  // namespace
 
 StageRunner::StageRunner(FileSystem& fs, RunnerConfig config)
     : fs_(fs), cfg_(std::move(config)) {
@@ -26,134 +22,17 @@ StageRunner::StageRunner(FileSystem& fs, RunnerConfig config)
   }
 }
 
-Result<Unit, StageError> StageRunner::run_stage_once(Stage& stage,
-                                                     RecordContext& ctx) {
-  const int invocation = ++invocations_[stage.name()];
-  const StageFault& f = cfg_.stage_fault;
-  if (!f.stage.empty() && f.stage == stage.name() &&
-      invocation == f.kill_on_invocation) {
-    return StageError{
-        f.transient ? ErrorClass::kTransient : ErrorClass::kPoison,
-        std::string("stage_crash.") + stage.name(),
-        "injected stage fault on invocation " + std::to_string(invocation)};
-  }
-  return stage.run(ctx);
-}
-
-bool StageRunner::run_step(
-    const std::string& name, RecordOutcome& outcome, StageError& failure,
-    const std::function<Result<Unit, StageError>()>& fn) {
-  int attempts = 0;
-  const auto started = std::chrono::steady_clock::now();
-  auto r = run_with_retry<Unit, StageError>(
-      cfg_.retry, cfg_.sleep,
-      [](const StageError& e) { return e.klass; }, fn, &attempts);
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - started;
-  StageAttempt attempt;
-  attempt.stage = name;
-  attempt.attempts = attempts;
-  attempt.ok = r.ok();
-  attempt.seconds = elapsed.count();
-  if (!r.ok()) {
-    failure = r.error();
-    attempt.error = failure.reason;
-  }
-  outcome.retries += attempts - 1;
-  outcome.seconds += attempt.seconds;
-  outcome.stages.push_back(std::move(attempt));
-  return r.ok();
-}
-
-void StageRunner::quarantine_record(const stdfs::path& quarantine_dir,
-                                    const RecordContext& ctx,
-                                    const StageError& failure,
-                                    RecordOutcome& outcome) {
-  outcome.status = RecordOutcome::Status::kQuarantined;
-  outcome.reason = failure.klass == ErrorClass::kPoison
-                       ? failure.reason
-                       : "transient_exhausted." + failure.reason;
-
-  // Preserve the original bytes for post-mortem. If the input itself is
-  // unreadable, quarantine a marker describing why.
-  std::string content = ctx.raw;
-  if (content.empty()) {
-    auto rd = fs_.read_file(ctx.input_path);
-    content = rd.ok() ? std::move(rd).take()
-                      : "<input unreadable: " + rd.error().to_string() + ">\n";
-  }
-  const stdfs::path dest =
-      quarantine_dir / (outcome.record + "." + outcome.reason);
-  auto wrote = run_with_retry<Unit, IoError>(
-      cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },
-      [&] { return atomic_write_file(fs_, dest, content); });
-  if (wrote.ok()) outcome.quarantine = dest.string();
-}
-
-RecordOutcome StageRunner::process_record(
-    const stdfs::path& input, const stdfs::path& work_dir,
-    std::vector<std::unique_ptr<Stage>>& stages) {
-  RecordOutcome outcome;
-  outcome.record = input.stem().string();
-  outcome.input = input.string();
-
-  RecordContext ctx;
-  ctx.fs = &fs_;
-  ctx.input_path = input;
-  ctx.scratch_dir = work_dir / "scratch" / outcome.record;
-  ctx.out_dir = work_dir / "out";
-  ctx.record_id = outcome.record;
-
-  StageError failure;
-  bool ok = run_step("scratch_setup", outcome, failure, [&] {
-    (void)fs_.remove_all(ctx.scratch_dir);
-    auto made = fs_.create_directories(ctx.scratch_dir);
-    if (!made.ok()) {
-      return Result<Unit, StageError>(from_io(made.error()));
-    }
-    return Result<Unit, StageError>(Unit{});
-  });
-
-  if (ok) {
-    for (auto& stage : stages) {
-      if (!run_step(stage->name(), outcome, failure,
-                    [&] { return run_stage_once(*stage, ctx); })) {
-        ok = false;
-        break;
-      }
-    }
-  }
-
-  if (ok) {
-    outcome.status = RecordOutcome::Status::kOk;
-    outcome.output = ctx.output_path.string();
-    for (const stdfs::path* p :
-         {&ctx.output_path, &ctx.fourier_path, &ctx.response_path}) {
-      if (!p->empty()) outcome.outputs.push_back(p->string());
-    }
-  } else {
-    // Earlier stages may already have published spectra into out/; a
-    // quarantined record must leave no outputs behind, or the validator
-    // (rightly) flags them as unclaimed.
-    for (const stdfs::path* p :
-         {&ctx.output_path, &ctx.fourier_path, &ctx.response_path}) {
-      if (!p->empty()) (void)fs_.remove_all(*p);
-    }
-    quarantine_record(work_dir / "quarantine", ctx, failure, outcome);
-  }
-
-  // Scratch is per-record; drop it either way (best effort — leftovers
-  // are caught by the validator, not silently tolerated).
-  (void)fs_.remove_all(ctx.scratch_dir);
-  return outcome;
-}
-
 Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
                                                   const stdfs::path& work_dir) {
   const auto run_started = std::chrono::steady_clock::now();
+  const int threads =
+      is_parallel(cfg_.driver) ? resolve_threads(cfg_.threads) : 1;
+
   RunReport report;
   report.input_dir = input_dir.string();
   report.work_dir = work_dir.string();
+  report.driver = to_string(cfg_.driver);
+  report.threads = threads;
 
   for (const char* sub : {"out", "quarantine", "scratch"}) {
     auto made = run_with_retry<Unit, IoError>(
@@ -162,17 +41,48 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
     if (!made.ok()) return std::move(made).take_error();
   }
 
-  auto listed = fs_.list_dir(input_dir);
+  auto listed = run_with_retry<std::vector<stdfs::path>, IoError>(
+      cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },
+      [&] { return fs_.list_dir(input_dir); });
   if (!listed.ok()) return std::move(listed).take_error();
 
-  auto stages = default_stages(cfg_.correction, cfg_.spectrum);
+  // The full driver's response stage runs its period loop as the nested
+  // `omp for` of the paper's fully-parallelized variant; the graph's
+  // stage factories capture the team size at construction.
+  RunnerConfig effective = cfg_;
+  if (cfg_.driver == Driver::kFullParallel) {
+    effective.spectrum.response_threads = threads;
+  }
+  const StageGraph graph =
+      StageGraph::standard(effective.correction, effective.spectrum);
+  if (auto audit = graph.verify(); !audit.ok()) {
+    return IoError{IoError::Code::kGraphInvalid, ErrorClass::kPoison,
+                   work_dir.string(), audit.error()};
+  }
+
+  RecordExecutor exec(fs_, effective);
+  exec.instantiate(graph, prunes_redundant(cfg_.driver));
+
+  // Sorted inputs give a deterministic slot order, so the report (and
+  // the fail-fast stopping point of the sequential drivers) does not
+  // depend on directory enumeration order.
+  std::vector<stdfs::path> inputs;
   for (const stdfs::path& path : listed.value()) {
-    if (path.extension() != formats::kV1Extension) continue;
-    report.records.push_back(process_record(path, work_dir, stages));
-    if (!cfg_.keep_going &&
-        report.records.back().status == RecordOutcome::Status::kQuarantined) {
-      break;
-    }
+    if (path.extension() == formats::kV1Extension) inputs.push_back(path);
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  std::vector<RecordSlot> slots;
+  slots.reserve(inputs.size());
+  for (const stdfs::path& input : inputs) {
+    slots.push_back(exec.make_slot(input, work_dir));
+  }
+
+  auto scheduler = make_scheduler(cfg_.driver, threads, cfg_.keep_going);
+  scheduler->run(exec, slots, work_dir);
+
+  for (RecordSlot& slot : slots) {
+    if (slot.processed) report.records.push_back(std::move(slot.outcome));
   }
 
   (void)fs_.remove_all(work_dir / "scratch");
@@ -180,6 +90,11 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
   const std::chrono::duration<double> run_elapsed =
       std::chrono::steady_clock::now() - run_started;
   report.total_seconds = run_elapsed.count();
+  if (cfg_.baseline_total_seconds > 0 && report.total_seconds > 0) {
+    report.speedup_vs_sequential =
+        cfg_.baseline_total_seconds / report.total_seconds;
+  }
+  report.sort_records();
 
   auto wrote = run_with_retry<Unit, IoError>(
       cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },

@@ -1,46 +1,18 @@
 #pragma once
 
 #include <filesystem>
-#include <map>
-#include <string>
 
+#include "pipeline/config.hpp"
 #include "pipeline/report.hpp"
-#include "pipeline/stage.hpp"
 #include "util/fs.hpp"
-#include "util/retry.hpp"
 
 namespace acx::pipeline {
 
-// Deterministic stage-crash injection: kill `stage` on its k-th
-// invocation counted across the whole run. Poison by default (models a
-// process crash on a specific record); transient=true models a flaky
-// stage that succeeds when retried.
-struct StageFault {
-  std::string stage;
-  int kill_on_invocation = 0;  // 1-based; 0 disables
-  bool transient = false;
-};
-
-struct RunnerConfig {
-  RetryPolicy retry;
-  // Backoff sleep; defaults to a real sleep, tests inject a no-op.
-  SleepFn sleep;
-  StageFault stage_fault;
-  // Fallback band corners / FIR length / gain of the V2 correction chain.
-  CorrectionConfig correction;
-  // FAS, corner-search and response-grid parameters of the spectral
-  // stages (corners, fourier, response).
-  SpectrumConfig spectrum;
-  // keep_going=true is the production mode: quarantine poisoned records
-  // and continue the event run with the survivors. false stops at the
-  // first quarantined record (still writing the report).
-  bool keep_going = true;
-};
-
-// The fault-tolerant execution layer. For every input record:
-// scratch-dir isolation, per-stage retry with capped exponential
-// backoff for transient errors, quarantine + continue for poison
-// errors, and a machine-readable run_report.json of all outcomes.
+// The fault-tolerant execution layer: builds the standard StageGraph,
+// hands it to the configured driver's Scheduler (pipeline/scheduler.hpp),
+// and writes the run report. For every input record: scratch-dir
+// isolation, per-stage retry with capped exponential backoff for
+// transient errors, quarantine + continue for poison errors.
 //
 // Work-dir layout:
 //   <work>/out/<record>.v2              one per surviving record
@@ -53,30 +25,19 @@ class StageRunner {
  public:
   explicit StageRunner(FileSystem& fs, RunnerConfig config = {});
 
-  // Processes every *.v1 file in input_dir. Only fails as a whole when
-  // the work dir itself cannot be set up or the report cannot be
-  // written; record-level failures are contained and reported.
+  // Processes every *.v1 file in input_dir with the configured driver.
+  // Only fails as a whole when the work dir itself cannot be set up,
+  // the stage graph fails its structural audit, or the report cannot
+  // be written; record-level failures are contained and reported.
   Result<RunReport, IoError> run_event(const std::filesystem::path& input_dir,
                                        const std::filesystem::path& work_dir);
 
  private:
-  RecordOutcome process_record(const std::filesystem::path& input,
-                               const std::filesystem::path& work_dir,
-                               std::vector<std::unique_ptr<Stage>>& stages);
-  Result<Unit, StageError> run_stage_once(Stage& stage, RecordContext& ctx);
-  bool run_step(const std::string& name, RecordOutcome& outcome,
-                StageError& failure,
-                const std::function<Result<Unit, StageError>()>& fn);
-  void quarantine_record(const std::filesystem::path& quarantine_dir,
-                         const RecordContext& ctx, const StageError& failure,
-                         RecordOutcome& outcome);
-
   FileSystem& fs_;
   RunnerConfig cfg_;
-  std::map<std::string, int> invocations_;
 };
 
-// Convenience: run with the default stage chain and write the report.
+// Convenience: run with the standard stage graph and write the report.
 Result<RunReport, IoError> run_pipeline(FileSystem& fs,
                                         const std::filesystem::path& input_dir,
                                         const std::filesystem::path& work_dir,

@@ -1,0 +1,111 @@
+#include "pipeline/scheduler.hpp"
+
+#include <omp.h>
+
+namespace acx::pipeline {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+// §III / §IV of the paper: one record after another, every planned
+// stage in order. Sequential Original and Sequential Optimized are the
+// same scheduler — the difference is the plan (pruned or not), decided
+// when the executor instantiates the graph. Honors keep_going=false by
+// stopping at the first quarantined record, leaving the rest of the
+// slots unprocessed.
+class SequentialScheduler final : public Scheduler {
+ public:
+  explicit SequentialScheduler(bool keep_going) : keep_going_(keep_going) {}
+
+  void run(RecordExecutor& exec, std::vector<RecordSlot>& slots,
+           const stdfs::path& work_dir) override {
+    for (RecordSlot& slot : slots) {
+      exec.run_record(slot, work_dir);
+      if (!keep_going_ &&
+          slot.outcome.status == RecordOutcome::Status::kQuarantined) {
+        break;
+      }
+    }
+  }
+
+ private:
+  bool keep_going_;
+};
+
+// §V of the paper: stage-by-stage over the pruned plan, each
+// parallel-safe stage fanned across records with an OpenMP loop and an
+// implicit barrier before the next stage; stages not marked
+// parallel-safe (none in the current chain, but the graph allows them)
+// run serially. Scratch setup and finalization stay serial — they are
+// cheap, and serial finalization keeps quarantine writes ordered.
+class PartialParallelScheduler final : public Scheduler {
+ public:
+  explicit PartialParallelScheduler(int threads) : threads_(threads) {}
+
+  void run(RecordExecutor& exec, std::vector<RecordSlot>& slots,
+           const stdfs::path& work_dir) override {
+    const long long n = static_cast<long long>(slots.size());
+    for (RecordSlot& slot : slots) exec.setup_scratch(slot);
+    for (const PlannedStage& ps : exec.plan()) {
+      if (ps.node->parallel_safe) {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads_)
+        for (long long i = 0; i < n; ++i) {
+          exec.run_stage(slots[static_cast<std::size_t>(i)], ps);
+        }
+      } else {
+        for (RecordSlot& slot : slots) exec.run_stage(slot, ps);
+      }
+    }
+    for (RecordSlot& slot : slots) exec.finalize(slot, work_dir);
+  }
+
+ private:
+  int threads_;
+};
+
+// §VI of the paper: record-level fan-out — each thread takes whole
+// records through the entire plan, scratch setup to finalization. The
+// response stage's period loop is the nested `omp for` (the runner
+// sets SpectrumConfig::response_threads for this driver), so
+// max_active_levels must admit two levels.
+class FullParallelScheduler final : public Scheduler {
+ public:
+  explicit FullParallelScheduler(int threads) : threads_(threads) {}
+
+  void run(RecordExecutor& exec, std::vector<RecordSlot>& slots,
+           const stdfs::path& work_dir) override {
+    omp_set_max_active_levels(2);
+    const long long n = static_cast<long long>(slots.size());
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads_)
+    for (long long i = 0; i < n; ++i) {
+      exec.run_record(slots[static_cast<std::size_t>(i)], work_dir);
+    }
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace
+
+int resolve_threads(int requested) {
+  return requested > 0 ? requested : omp_get_max_threads();
+}
+
+std::unique_ptr<Scheduler> make_scheduler(Driver driver, int threads,
+                                          bool keep_going) {
+  switch (driver) {
+    case Driver::kSequential:
+    case Driver::kSequentialOptimized:
+      return std::make_unique<SequentialScheduler>(keep_going);
+    case Driver::kPartialParallel:
+      return std::make_unique<PartialParallelScheduler>(
+          resolve_threads(threads));
+    case Driver::kFullParallel:
+      return std::make_unique<FullParallelScheduler>(resolve_threads(threads));
+  }
+  return std::make_unique<SequentialScheduler>(keep_going);
+}
+
+}  // namespace acx::pipeline

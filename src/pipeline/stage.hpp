@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "formats/record.hpp"
@@ -51,6 +52,10 @@ struct SpectrumConfig {
   spectrum::FourierSpec fourier;         // FAS of the corrected record
   spectrum::CornerSearchConfig corners;  // FPL/FSL search tuning
   spectrum::ResponseGrid grid = spectrum::paper_grid();
+  // OpenMP team size of the response stage's nested period loop (the
+  // paper's inner `omp for` of the fully-parallel driver). 1 keeps the
+  // kernel serial; the full driver sets it to the run's team size.
+  int response_threads = 1;
 };
 
 // Per-record working state threaded through the stages. Each record is
@@ -85,9 +90,20 @@ class Stage {
   virtual Result<Unit, StageError> run(RecordContext& ctx) = 0;
 };
 
-// The correction + spectra chain: stage_in -> parse -> calibrate ->
-// demean -> corners -> bandpass -> detrend -> integrate -> peaks ->
-// fourier -> response -> write_v2. Later PRs extend this toward the
+// Instantiate one stage of the chain by name (the names of
+// StageGraph::standard and pipeline/reasons.hpp kStageNames). Returns
+// nullptr for an unknown name. Instances are re-entrant: they hold only
+// their configuration, so the schedulers share one per graph node
+// across records and threads.
+std::unique_ptr<Stage> make_stage(std::string_view name,
+                                  const CorrectionConfig& correction,
+                                  const SpectrumConfig& spectrum);
+
+// The full original chain (redundant stages included), instantiated in
+// execution order from StageGraph::standard (src/pipeline/graph.hpp):
+// stage_in -> parse -> reparse -> calibrate -> demean -> corners ->
+// fas_preview -> bandpass -> detrend -> integrate -> peaks -> repeaks
+// -> fourier -> response -> write_v2. Later PRs extend this toward the
 // paper's full P#0–P#19 (plots, GEM). Stage-to-paper mapping:
 // docs/PIPELINE.md.
 std::vector<std::unique_ptr<Stage>> default_stages(

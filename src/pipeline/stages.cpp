@@ -161,6 +161,50 @@ class CornersStage final : public Stage {
   SpectrumConfig cfg_;
 };
 
+// Reparse (redundant, paper P#6 analogue): the original pipeline
+// re-validated the staged bytes it had already parsed. Nothing
+// consumes the result; the optimized drivers prune this node.
+class ReparseStage final : public Stage {
+ public:
+  const char* name() const override { return "reparse"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto rec = formats::read_v1(ctx.raw);
+    if (!rec.ok()) {
+      const formats::ParseError& e = rec.error();
+      return StageError{ErrorClass::kPoison,
+                        std::string("parse.") + formats::slug(e.code),
+                        e.to_string()};
+    }
+    return Unit{};  // result discarded — that is the point
+  }
+};
+
+// FAS preview (redundant, paper P#12 analogue): a second Fourier
+// amplitude spectrum of the demeaned record, written as a scratch
+// preview artifact nothing downstream reads. Pruned by the optimized
+// drivers; the real FAS output is the fourier stage's F file.
+class FasPreviewStage final : public Stage {
+ public:
+  explicit FasPreviewStage(const SpectrumConfig& cfg) : cfg_(cfg) {}
+  const char* name() const override { return "fas_preview"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    auto fas = spectrum::fourier_amplitude(ctx.record.samples,
+                                           ctx.record.header.dt, cfg_.fourier);
+    if (!fas.ok()) return from_spectrum(fas.error());
+    const spectrum::FourierSpectrum& spec = fas.value();
+    char head[96];
+    std::snprintf(head, sizeof head, "# fas preview: %zu bins, df %.6f\n",
+                  spec.size(), spec.df);
+    auto wrote = atomic_write_file(
+        *ctx.fs, ctx.scratch_dir / (ctx.record_id + ".fas-preview"), head);
+    if (!wrote.ok()) return from_io(wrote.error());
+    return Unit{};
+  }
+
+ private:
+  SpectrumConfig cfg_;
+};
+
 // Band-pass: zero-phase windowed-sinc FIR between the record's FPL/FSL
 // corners (fixed instrument band when the search fell back). The
 // design length adapts to short records (min(taps, odd(n/3))); a
@@ -260,6 +304,24 @@ class PeaksStage final : public Stage {
   }
 };
 
+// Re-peaks (redundant, paper P#14 analogue): the original pipeline
+// re-extracted the max values the peaks stage had already extracted,
+// then threw them away. Pruned by the optimized drivers.
+class RepeaksStage final : public Stage {
+ public:
+  const char* name() const override { return "repeaks"; }
+  Result<Unit, StageError> run(RecordContext& ctx) override {
+    const double dt = ctx.record.header.dt;
+    auto pga = signal::extract_peak(ctx.record.samples, dt);
+    if (!pga.ok()) return from_signal(pga.error());
+    auto pgv = signal::extract_peak(ctx.velocity, dt);
+    if (!pgv.ok()) return from_signal(pgv.error());
+    auto pgd = signal::extract_peak(ctx.displacement, dt);
+    if (!pgd.ok()) return from_signal(pgd.error());
+    return Unit{};  // results discarded
+  }
+};
+
 // Fourier: FAS of the corrected acceleration, written as the F output
 // (Stage VIII of the paper). Carries the FPL/FSL corners the band-pass
 // actually used, when the search produced them.
@@ -318,7 +380,8 @@ class ResponseStage final : public Stage {
   const char* name() const override { return "response"; }
   Result<Unit, StageError> run(RecordContext& ctx) override {
     auto spec = spectrum::response_spectrum(ctx.record.samples,
-                                            ctx.record.header.dt, cfg_.grid);
+                                            ctx.record.header.dt, cfg_.grid,
+                                            cfg_.response_threads);
     if (!spec.ok()) return from_spectrum(spec.error());
     spectrum::ResponseSpectrum rs = std::move(spec).take();
 
@@ -382,22 +445,26 @@ class WriteV2Stage final : public Stage {
 
 }  // namespace
 
-std::vector<std::unique_ptr<Stage>> default_stages(
-    const CorrectionConfig& correction, const SpectrumConfig& spectrum) {
-  std::vector<std::unique_ptr<Stage>> stages;
-  stages.push_back(std::make_unique<StageIn>());
-  stages.push_back(std::make_unique<ParseStage>());
-  stages.push_back(std::make_unique<CalibrateStage>(correction));
-  stages.push_back(std::make_unique<DemeanStage>());
-  stages.push_back(std::make_unique<CornersStage>(correction, spectrum));
-  stages.push_back(std::make_unique<BandPassStage>(correction));
-  stages.push_back(std::make_unique<DetrendStage>());
-  stages.push_back(std::make_unique<IntegrateStage>());
-  stages.push_back(std::make_unique<PeaksStage>());
-  stages.push_back(std::make_unique<FourierStage>(spectrum));
-  stages.push_back(std::make_unique<ResponseStage>(spectrum));
-  stages.push_back(std::make_unique<WriteV2Stage>());
-  return stages;
+std::unique_ptr<Stage> make_stage(std::string_view name,
+                                  const CorrectionConfig& correction,
+                                  const SpectrumConfig& spectrum) {
+  if (name == "stage_in") return std::make_unique<StageIn>();
+  if (name == "parse") return std::make_unique<ParseStage>();
+  if (name == "reparse") return std::make_unique<ReparseStage>();
+  if (name == "calibrate") return std::make_unique<CalibrateStage>(correction);
+  if (name == "demean") return std::make_unique<DemeanStage>();
+  if (name == "corners")
+    return std::make_unique<CornersStage>(correction, spectrum);
+  if (name == "fas_preview") return std::make_unique<FasPreviewStage>(spectrum);
+  if (name == "bandpass") return std::make_unique<BandPassStage>(correction);
+  if (name == "detrend") return std::make_unique<DetrendStage>();
+  if (name == "integrate") return std::make_unique<IntegrateStage>();
+  if (name == "peaks") return std::make_unique<PeaksStage>();
+  if (name == "repeaks") return std::make_unique<RepeaksStage>();
+  if (name == "fourier") return std::make_unique<FourierStage>(spectrum);
+  if (name == "response") return std::make_unique<ResponseStage>(spectrum);
+  if (name == "write_v2") return std::make_unique<WriteV2Stage>();
+  return nullptr;
 }
 
 }  // namespace acx::pipeline

@@ -154,31 +154,47 @@ Result<Unit, SpectrumError> validate_grid(const ResponseGrid& grid) {
 }
 
 Result<ResponseSpectrum, SpectrumError> response_spectrum(
-    const std::vector<double>& acc, double dt, const ResponseGrid& grid) {
+    const std::vector<double>& acc, double dt, const ResponseGrid& grid,
+    int threads) {
   auto grid_ok = validate_grid(grid);
   if (!grid_ok.ok()) return grid_ok.error();
 
   ResponseSpectrum out;
   out.periods = grid.periods;
   out.dampings = grid.dampings;
-  const std::size_t cells = grid.periods.size() * grid.dampings.size();
+  const std::size_t periods = grid.periods.size();
+  const std::size_t cells = periods * grid.dampings.size();
   out.sd.resize(cells);
   out.sv.resize(cells);
   out.sa.resize(cells);
 
-  // The parallelization surface: each (d, p) cell reads only the shared
-  // input and writes only its own three slots.
-  for (std::size_t d = 0; d < grid.dampings.size(); ++d) {
-    for (std::size_t p = 0; p < grid.periods.size(); ++p) {
-      auto cell =
-          sdof_peak_response(acc, dt, grid.periods[p], grid.dampings[d]);
-      if (!cell.ok()) return cell.error();
-      const std::size_t i = out.index(d, p);
-      out.sd[i] = cell.value().sd;
-      out.sv[i] = cell.value().sv;
-      out.sa[i] = cell.value().sa;
+  // The flattened (damping, period) grid loop. Each cell reads only the
+  // shared input and writes only its own three slots, so the OpenMP
+  // fan-out needs no synchronization on the happy path. Errors cannot
+  // early-return from inside the parallel region; instead the lowest
+  // failing linear index wins, which reproduces exactly the cell the
+  // serial loop would have reported first.
+  long long first_bad = -1;
+  SpectrumError bad_error{};
+#pragma omp parallel for schedule(static) num_threads(threads) \
+    if (threads > 1)
+  for (long long i = 0; i < static_cast<long long>(cells); ++i) {
+    const std::size_t d = static_cast<std::size_t>(i) / periods;
+    const std::size_t p = static_cast<std::size_t>(i) % periods;
+    auto cell = sdof_peak_response(acc, dt, grid.periods[p], grid.dampings[d]);
+    if (!cell.ok()) {
+#pragma omp critical(acx_response_first_error)
+      if (first_bad < 0 || i < first_bad) {
+        first_bad = i;
+        bad_error = cell.error();
+      }
+      continue;
     }
+    out.sd[i] = cell.value().sd;
+    out.sv[i] = cell.value().sv;
+    out.sa[i] = cell.value().sa;
   }
+  if (first_bad >= 0) return bad_error;
   return out;
 }
 

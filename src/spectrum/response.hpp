@@ -59,9 +59,14 @@ struct ResponseSpectrum {
   }
 };
 
-// Evaluates sdof_peak_response over the grid. The loop body is the
-// parallelization surface: cells touch only their own output slots.
+// Evaluates sdof_peak_response over the grid. Cells touch only their
+// own output slots, so `threads > 1` fans the flattened (damping,
+// period) loop across an OpenMP team — the paper's nested `omp for` of
+// the fully-parallelized driver. The result is bit-identical to the
+// serial evaluation for any team size, and on failure the reported
+// error is the same cell the serial loop would have stopped at.
 Result<ResponseSpectrum, SpectrumError> response_spectrum(
-    const std::vector<double>& acc, double dt, const ResponseGrid& grid);
+    const std::vector<double>& acc, double dt, const ResponseGrid& grid,
+    int threads = 1);
 
 }  // namespace acx::spectrum

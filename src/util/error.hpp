@@ -30,6 +30,10 @@ struct IoError {
     kInjectedReadFault,
     kInjectedWriteFault,
     kInjectedRenameFault,
+    kInjectedMkdirFault,
+    kInjectedListFault,
+    kInjectedRemoveFault,
+    kGraphInvalid,  // stage graph failed its structural audit
   };
 
   Code code{};
@@ -55,6 +59,10 @@ inline const char* slug(IoError::Code c) {
     case IoError::Code::kInjectedReadFault: return "injected_read_fault";
     case IoError::Code::kInjectedWriteFault: return "injected_write_fault";
     case IoError::Code::kInjectedRenameFault: return "injected_rename_fault";
+    case IoError::Code::kInjectedMkdirFault: return "injected_mkdir_fault";
+    case IoError::Code::kInjectedListFault: return "injected_list_fault";
+    case IoError::Code::kInjectedRemoveFault: return "injected_remove_fault";
+    case IoError::Code::kGraphInvalid: return "graph_invalid";
   }
   return "unknown";
 }

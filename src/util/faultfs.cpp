@@ -14,6 +14,8 @@ bool FaultyFileSystem::matches(const stdfs::path& path) const {
   return path.string().find(cfg_.path_filter) != std::string::npos;
 }
 
+// Caller must hold mu_: the seeded stream and the first_n countdowns
+// are shared across every thread driving the shim.
 bool FaultyFileSystem::should_fail(const stdfs::path& path, double p,
                                    int& first_n) {
   if (!matches(path)) return false;
@@ -26,45 +28,70 @@ bool FaultyFileSystem::should_fail(const stdfs::path& path, double p,
 
 Result<std::string, IoError> FaultyFileSystem::read_file(
     const stdfs::path& path) {
-  if (should_fail(path, cfg_.read_fail_p, cfg_.read_fail_first_n)) {
-    ++stats_.injected_read_faults;
-    return IoError{IoError::Code::kInjectedReadFault, ErrorClass::kTransient,
-                   path.string(), "faultfs: injected read failure"};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (should_fail(path, cfg_.read_fail_p, cfg_.read_fail_first_n)) {
+      ++stats_.injected_read_faults;
+      return IoError{IoError::Code::kInjectedReadFault, ErrorClass::kTransient,
+                     path.string(), "faultfs: injected read failure"};
+    }
   }
   return inner_.read_file(path);
 }
 
 Result<Unit, IoError> FaultyFileSystem::write_file(const stdfs::path& path,
                                                    std::string_view content) {
-  if (should_fail(path, cfg_.write_fail_p, cfg_.write_fail_first_n)) {
-    ++stats_.injected_write_faults;
-    if (cfg_.torn_writes) {
-      // Simulate a crash mid-write: half the bytes land on disk.
-      (void)inner_.write_file(path, content.substr(0, content.size() / 2));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (should_fail(path, cfg_.write_fail_p, cfg_.write_fail_first_n)) {
+      ++stats_.injected_write_faults;
+      if (cfg_.torn_writes) {
+        // Simulate a crash mid-write: half the bytes land on disk.
+        (void)inner_.write_file(path, content.substr(0, content.size() / 2));
+      }
+      return IoError{IoError::Code::kInjectedWriteFault, ErrorClass::kTransient,
+                     path.string(), "faultfs: injected write failure"};
     }
-    return IoError{IoError::Code::kInjectedWriteFault, ErrorClass::kTransient,
-                   path.string(), "faultfs: injected write failure"};
   }
   return inner_.write_file(path, content);
 }
 
 Result<Unit, IoError> FaultyFileSystem::rename(const stdfs::path& from,
                                                const stdfs::path& to) {
-  if (should_fail(to, cfg_.rename_fail_p, cfg_.rename_fail_first_n)) {
-    ++stats_.injected_rename_faults;
-    return IoError{IoError::Code::kInjectedRenameFault, ErrorClass::kTransient,
-                   to.string(), "faultfs: injected rename failure"};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (should_fail(to, cfg_.rename_fail_p, cfg_.rename_fail_first_n)) {
+      ++stats_.injected_rename_faults;
+      return IoError{IoError::Code::kInjectedRenameFault, ErrorClass::kTransient,
+                     to.string(), "faultfs: injected rename failure"};
+    }
   }
   return inner_.rename(from, to);
 }
 
 Result<Unit, IoError> FaultyFileSystem::create_directories(
     const stdfs::path& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (should_fail(path, cfg_.mkdir_fail_p, cfg_.mkdir_fail_first_n)) {
+      ++stats_.injected_mkdir_faults;
+      return IoError{IoError::Code::kInjectedMkdirFault, ErrorClass::kTransient,
+                     path.string(), "faultfs: injected mkdir failure"};
+    }
+  }
   return inner_.create_directories(path);
 }
 
 Result<std::vector<stdfs::path>, IoError> FaultyFileSystem::list_dir(
     const stdfs::path& dir) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (should_fail(dir, cfg_.list_fail_p, cfg_.list_fail_first_n)) {
+      ++stats_.injected_list_faults;
+      return IoError{IoError::Code::kInjectedListFault, ErrorClass::kTransient,
+                     dir.string(), "faultfs: injected list failure"};
+    }
+  }
   return inner_.list_dir(dir);
 }
 
@@ -74,6 +101,14 @@ Result<std::vector<stdfs::path>, IoError> FaultyFileSystem::list_tree(
 }
 
 Result<Unit, IoError> FaultyFileSystem::remove_all(const stdfs::path& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (should_fail(path, cfg_.remove_fail_p, cfg_.remove_fail_first_n)) {
+      ++stats_.injected_remove_faults;
+      return IoError{IoError::Code::kInjectedRemoveFault, ErrorClass::kTransient,
+                     path.string(), "faultfs: injected remove failure"};
+    }
+  }
   return inner_.remove_all(path);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <string>
 
 #include "util/fs.hpp"
@@ -24,9 +25,15 @@ struct FaultConfig {
   double read_fail_p = 0.0;
   double write_fail_p = 0.0;
   double rename_fail_p = 0.0;
+  double mkdir_fail_p = 0.0;
+  double list_fail_p = 0.0;
+  double remove_fail_p = 0.0;
   int read_fail_first_n = 0;
   int write_fail_first_n = 0;
   int rename_fail_first_n = 0;
+  int mkdir_fail_first_n = 0;
+  int list_fail_first_n = 0;
+  int remove_fail_first_n = 0;
 
   // Injected write faults tear the write: the first half of the content
   // is written through before the failure is reported. This is what
@@ -38,15 +45,23 @@ struct FaultStats {
   int injected_read_faults = 0;
   int injected_write_faults = 0;
   int injected_rename_faults = 0;
+  int injected_mkdir_faults = 0;
+  int injected_list_faults = 0;
+  int injected_remove_faults = 0;
   int total() const {
     return injected_read_faults + injected_write_faults +
-           injected_rename_faults;
+           injected_rename_faults + injected_mkdir_faults +
+           injected_list_faults + injected_remove_faults;
   }
 };
 
 // Shim over another FileSystem that injects transient I/O faults
 // according to a FaultConfig. All decisions come from the seeded PRNG,
-// so a given (seed, call sequence) always fails the same calls.
+// so a given (seed, call sequence) always fails the same calls — under
+// a parallel driver the *set* of failing calls is still seed-stable,
+// but which record draws a given fault depends on thread interleaving.
+// Internally locked: the pipeline's parallel drivers hit one shim from
+// many threads.
 class FaultyFileSystem final : public FileSystem {
  public:
   FaultyFileSystem(FileSystem& inner, FaultConfig config);
@@ -74,6 +89,7 @@ class FaultyFileSystem final : public FileSystem {
 
   FileSystem& inner_;
   FaultConfig cfg_;
+  std::mutex mu_;  // guards rng_, stats_ and the first_n countdowns
   Xoshiro256 rng_;
   FaultStats stats_;
 };

@@ -1,0 +1,270 @@
+// Scheduler equivalence: the paper's four drivers are different
+// schedules of the same stage graph, so for any workload — poisoned
+// records included — they must produce identical survivor output bytes,
+// identical quarantine reason sets, and (timings aside) the same
+// canonical report, regardless of thread count.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "formats/v1.hpp"
+#include "pipeline/runner.hpp"
+#include "pipeline/validate.hpp"
+#include "synth/synth.hpp"
+#include "test_helpers.hpp"
+#include "util/faultfs.hpp"
+
+namespace acx::pipeline {
+namespace {
+
+constexpr Driver kAllDrivers[] = {
+    Driver::kSequential, Driver::kSequentialOptimized,
+    Driver::kPartialParallel, Driver::kFullParallel};
+
+RunnerConfig driver_config(Driver driver, int threads = 4) {
+  RunnerConfig cfg;
+  cfg.sleep = [](int) {};
+  cfg.driver = driver;
+  cfg.threads = threads;
+  return cfg;
+}
+
+std::vector<std::filesystem::path> build_event(
+    FileSystem& fs, const std::filesystem::path& dir, int n_files) {
+  synth::EventSpec spec = synth::paper_events()[0];
+  spec.n_files = n_files;
+  synth::SynthConfig scfg;
+  scfg.scale = 0.02;
+  auto written = synth::build_event_dataset(fs, dir, spec, scfg);
+  EXPECT_TRUE(written.ok());
+  std::vector<std::filesystem::path> paths;
+  for (const auto& name : written.value()) paths.push_back(dir / name);
+  return paths;
+}
+
+// Poison two of the records: one bad magic, one truncated mid-block.
+void poison_two(FileSystem& fs, const std::vector<std::filesystem::path>& f) {
+  auto content = fs.read_file(f[1]);
+  ASSERT_TRUE(content.ok());
+  std::string bytes = content.value();
+  bytes.replace(0, 6, "BROKEN");
+  ASSERT_TRUE(fs.write_file(f[1], bytes).ok());
+  ASSERT_TRUE(faultfs::truncate_file(fs, f[4], 0.5).ok());
+}
+
+TEST(Drivers, AllFourProduceIdenticalOutputsAndQuarantineSets) {
+  test::TempDir tmp("drivers");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto files = build_event(fs, input, 8);
+  poison_two(fs, files);
+
+  std::map<std::string, RunReport> reports;
+  for (Driver driver : kAllDrivers) {
+    const auto work = tmp.path() / ("work-" + std::string(to_string(driver)));
+    auto run = run_pipeline(fs, input, work, driver_config(driver));
+    ASSERT_TRUE(run.ok()) << to_string(driver);
+    reports.emplace(to_string(driver), run.value());
+
+    EXPECT_EQ(run.value().driver, to_string(driver));
+    EXPECT_EQ(run.value().records.size(), 8u) << to_string(driver);
+    EXPECT_EQ(run.value().count_quarantined(), 2) << to_string(driver);
+
+    const ValidationSummary audit = validate_workdir(fs, work);
+    EXPECT_TRUE(audit.clean())
+        << to_string(driver) << ": " << audit.issues.front().kind << ": "
+        << audit.issues.front().detail;
+  }
+
+  const RunReport& seq = reports.at("seq");
+  for (const auto& [name, report] : reports) {
+    // Identical quarantine (record, reason) sets.
+    std::set<std::pair<std::string, std::string>> expect_q, got_q;
+    for (const RecordOutcome& r : seq.records) {
+      if (r.status == RecordOutcome::Status::kQuarantined) {
+        expect_q.insert({r.record, r.reason});
+      }
+    }
+    for (const RecordOutcome& r : report.records) {
+      if (r.status == RecordOutcome::Status::kQuarantined) {
+        got_q.insert({r.record, r.reason});
+      }
+    }
+    EXPECT_EQ(expect_q, got_q) << name;
+
+    // Identical survivor bytes for every output (.f/.r/.v2).
+    for (std::size_t i = 0; i < seq.records.size(); ++i) {
+      const RecordOutcome& a = seq.records[i];
+      const RecordOutcome& b = report.records[i];
+      ASSERT_EQ(a.record, b.record) << name;
+      if (a.status != RecordOutcome::Status::kOk) continue;
+      ASSERT_EQ(a.outputs.size(), b.outputs.size()) << name;
+      for (std::size_t o = 0; o < a.outputs.size(); ++o) {
+        auto left = fs.read_file(a.outputs[o]);
+        auto right = fs.read_file(b.outputs[o]);
+        ASSERT_TRUE(left.ok() && right.ok());
+        EXPECT_EQ(left.value(), right.value())
+            << name << " differs from seq at " << b.outputs[o];
+      }
+    }
+  }
+}
+
+TEST(Drivers, OnlySequentialOriginalRunsTheRedundantStages) {
+  test::TempDir tmp("drivers");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  build_event(fs, input, 2);
+
+  for (Driver driver : kAllDrivers) {
+    const auto work = tmp.path() / ("work-" + std::string(to_string(driver)));
+    auto run = run_pipeline(fs, input, work, driver_config(driver));
+    ASSERT_TRUE(run.ok());
+    std::set<std::string> executed;
+    for (const RecordOutcome& r : run.value().records) {
+      for (const StageAttempt& s : r.stages) executed.insert(s.stage);
+    }
+    const bool original = driver == Driver::kSequential;
+    for (const char* redundant : {"reparse", "fas_preview", "repeaks"}) {
+      EXPECT_EQ(executed.count(redundant) > 0, original)
+          << to_string(driver) << " / " << redundant;
+    }
+  }
+}
+
+TEST(Drivers, CanonicalReportIsByteStableAcrossDriversAndThreadCounts) {
+  test::TempDir tmp("drivers");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto files = build_event(fs, input, 8);
+  poison_two(fs, files);
+
+  auto canonical = [&](Driver driver, int threads, const char* tag) {
+    const auto work = tmp.path() / tag;
+    auto run = run_pipeline(fs, input, work, driver_config(driver, threads));
+    EXPECT_TRUE(run.ok());
+    return run.value().canonical_dump();
+  };
+
+  const std::string seq = canonical(Driver::kSequential, 1, "w-seq");
+  EXPECT_EQ(seq, canonical(Driver::kSequentialOptimized, 1, "w-seqopt"));
+  EXPECT_EQ(seq, canonical(Driver::kPartialParallel, 4, "w-partial"));
+  EXPECT_EQ(seq, canonical(Driver::kFullParallel, 2, "w-full2"));
+  EXPECT_EQ(seq, canonical(Driver::kFullParallel, 8, "w-full8"));
+}
+
+TEST(Drivers, ReportRoundTripsWithDriverAndThreads) {
+  test::TempDir tmp("drivers");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  build_event(fs, input, 2);
+  const auto work = tmp.path() / "work";
+
+  RunnerConfig cfg = driver_config(Driver::kFullParallel, 3);
+  cfg.baseline_total_seconds = 100.0;  // synthetic baseline -> speedup set
+  auto run = run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().driver, "full");
+  EXPECT_EQ(run.value().threads, 3);
+  EXPECT_GT(run.value().speedup_vs_sequential, 0);
+
+  auto text = fs.read_file(work / kRunReportFileName);
+  ASSERT_TRUE(text.ok());
+  auto parsed = RunReport::from_json_text(text.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value().driver, "full");
+  EXPECT_EQ(parsed.value().threads, 3);
+  EXPECT_NEAR(parsed.value().speedup_vs_sequential,
+              run.value().speedup_vs_sequential, 1e-9);
+
+  // The strict reader rejects a report claiming an unknown driver.
+  std::string tampered = text.value();
+  const auto pos = tampered.find("\"full\"");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 6, "\"warp\"");
+  EXPECT_FALSE(RunReport::from_json_text(tampered).ok());
+}
+
+TEST(Drivers, InjectedDirFaultsAreRetriedUnderTheFullDriver) {
+  test::TempDir tmp("drivers");
+  RealFileSystem real;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  build_event(real, input, 6);
+
+  faultfs::FaultConfig fcfg;
+  fcfg.mkdir_fail_first_n = 3;  // first three scratch mkdirs fail...
+  fcfg.path_filter = "/scratch/";
+  faultfs::FaultyFileSystem fs(real, fcfg);
+
+  RunnerConfig cfg = driver_config(Driver::kFullParallel, 4);
+  cfg.retry.max_attempts = 5;  // ...and retry absorbs all of them
+  auto run = run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().count_quarantined(), 0);
+  EXPECT_EQ(fs.stats().injected_mkdir_faults, 3);
+  EXPECT_GE(run.value().count_retries(), 3);
+
+  const ValidationSummary audit = validate_workdir(real, work);
+  EXPECT_TRUE(audit.clean())
+      << audit.issues.front().kind << ": " << audit.issues.front().detail;
+}
+
+TEST(Drivers, ExhaustedDirFaultQuarantinesCleanlyUnderTheFullDriver) {
+  test::TempDir tmp("drivers");
+  RealFileSystem real;
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  const auto files = build_event(real, input, 6);
+
+  // Every scratch mkdir for one record fails, past retry exhaustion.
+  const std::string victim_id = files[2].stem().string();
+  faultfs::FaultConfig fcfg;
+  fcfg.mkdir_fail_first_n = 100;
+  fcfg.path_filter = "/scratch/" + victim_id;
+  faultfs::FaultyFileSystem fs(real, fcfg);
+
+  RunnerConfig cfg = driver_config(Driver::kFullParallel, 4);
+  cfg.retry.max_attempts = 3;
+  auto run = run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().count_quarantined(), 1);
+  for (const RecordOutcome& r : run.value().records) {
+    if (r.record != victim_id) {
+      EXPECT_EQ(r.status, RecordOutcome::Status::kOk) << r.record;
+      continue;
+    }
+    EXPECT_EQ(r.status, RecordOutcome::Status::kQuarantined);
+    EXPECT_EQ(r.reason, "transient_exhausted.io.injected_mkdir_fault");
+    EXPECT_TRUE(real.exists(r.quarantine));
+  }
+
+  const ValidationSummary audit = validate_workdir(real, work);
+  EXPECT_TRUE(audit.clean())
+      << audit.issues.front().kind << ": " << audit.issues.front().detail;
+}
+
+TEST(Drivers, FailFastStopsSequentialDriversAtTheFirstPoisonRecord) {
+  test::TempDir tmp("drivers");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto files = build_event(fs, input, 6);
+  poison_two(fs, files);  // poisons files[1] and files[4]
+
+  for (Driver driver : {Driver::kSequential, Driver::kSequentialOptimized}) {
+    const auto work = tmp.path() / ("work-" + std::string(to_string(driver)));
+    RunnerConfig cfg = driver_config(driver, 1);
+    cfg.keep_going = false;
+    auto run = run_pipeline(fs, input, work, cfg);
+    ASSERT_TRUE(run.ok());
+    // Records run in sorted order; the run stops at files[1].
+    EXPECT_EQ(run.value().records.size(), 2u) << to_string(driver);
+    EXPECT_EQ(run.value().count_quarantined(), 1) << to_string(driver);
+  }
+}
+
+}  // namespace
+}  // namespace acx::pipeline

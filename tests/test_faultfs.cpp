@@ -133,6 +133,60 @@ TEST(FaultFs, FlipBytesIsDeterministic) {
   EXPECT_EQ(ra.value().size(), original.size());
 }
 
+TEST(FaultFs, FailFirstNMkdirsThenSucceeds) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem real;
+  FaultConfig cfg;
+  cfg.mkdir_fail_first_n = 2;
+  FaultyFileSystem fs(real, cfg);
+
+  const auto dir = tmp.path() / "a" / "b";
+  auto m1 = fs.create_directories(dir);
+  auto m2 = fs.create_directories(dir);
+  auto m3 = fs.create_directories(dir);
+  EXPECT_FALSE(m1.ok());
+  EXPECT_EQ(m1.error().code, IoError::Code::kInjectedMkdirFault);
+  EXPECT_EQ(m1.error().klass, ErrorClass::kTransient);
+  EXPECT_FALSE(m2.ok());
+  EXPECT_TRUE(m3.ok());
+  EXPECT_TRUE(real.exists(dir));
+  EXPECT_EQ(fs.stats().injected_mkdir_faults, 2);
+}
+
+TEST(FaultFs, ListAndRemoveFaultsAreInjectedAndFiltered) {
+  test::TempDir tmp("faultfs");
+  RealFileSystem real;
+  ASSERT_TRUE(real.create_directories(tmp.path() / "victim").ok());
+  ASSERT_TRUE(real.write_file(tmp.path() / "victim" / "f.txt", "x").ok());
+
+  FaultConfig cfg;
+  cfg.list_fail_first_n = 1;
+  cfg.remove_fail_first_n = 1;
+  cfg.path_filter = "/victim";
+  FaultyFileSystem fs(real, cfg);
+
+  // The filter protects other paths entirely.
+  EXPECT_TRUE(fs.list_dir(tmp.path()).ok());
+  EXPECT_TRUE(fs.remove_all(tmp.path() / "not-there").ok());
+
+  auto l1 = fs.list_dir(tmp.path() / "victim");
+  ASSERT_FALSE(l1.ok());
+  EXPECT_EQ(l1.error().code, IoError::Code::kInjectedListFault);
+  EXPECT_EQ(l1.error().klass, ErrorClass::kTransient);
+  EXPECT_TRUE(fs.list_dir(tmp.path() / "victim").ok());
+
+  auto r1 = fs.remove_all(tmp.path() / "victim");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.error().code, IoError::Code::kInjectedRemoveFault);
+  EXPECT_TRUE(real.exists(tmp.path() / "victim"));  // fault really blocked it
+  EXPECT_TRUE(fs.remove_all(tmp.path() / "victim").ok());
+  EXPECT_FALSE(real.exists(tmp.path() / "victim"));
+
+  EXPECT_EQ(fs.stats().injected_list_faults, 1);
+  EXPECT_EQ(fs.stats().injected_remove_faults, 1);
+  EXPECT_EQ(fs.stats().total(), 2);
+}
+
 TEST(FaultFs, TruncateKeepsExactFraction) {
   test::TempDir tmp("faultfs");
   RealFileSystem fs;

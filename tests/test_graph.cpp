@@ -1,0 +1,129 @@
+// The stage graph's structural contract: the standard topology passes
+// its own audit, pruning removes exactly the redundant nodes without
+// severing a live edge, and verify() rejects malformed graphs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pipeline/graph.hpp"
+#include "pipeline/reasons.hpp"
+
+namespace acx::pipeline {
+namespace {
+
+StageNode node(std::string name, std::vector<std::string> deps,
+               bool redundant = false) {
+  StageNode n;
+  n.name = std::move(name);
+  n.deps = std::move(deps);
+  n.redundant = redundant;
+  n.make = [] { return make_stage("demean", {}, {}); };  // any real stage
+  return n;
+}
+
+TEST(StageGraph, StandardTopologyPassesItsOwnAudit) {
+  const StageGraph g = StageGraph::standard();
+  auto audit = g.verify();
+  EXPECT_TRUE(audit.ok()) << audit.error();
+}
+
+TEST(StageGraph, StandardPlanMatchesTheReasonRegistry) {
+  // The full plan (redundant included), prefixed with scratch_setup, is
+  // exactly the registered stage-name table — the quarantine reason
+  // registry and the graph can never drift apart.
+  const StageGraph g = StageGraph::standard();
+  std::vector<std::string> plan = {"scratch_setup"};
+  for (const StageNode* n : g.plan(/*prune_redundant=*/false)) {
+    plan.push_back(n->name);
+  }
+  std::vector<std::string> table;
+  for (const char* name : kStageNames) table.emplace_back(name);
+  EXPECT_EQ(plan, table);
+}
+
+TEST(StageGraph, PruningRemovesExactlyTheRedundantNodes) {
+  const StageGraph g = StageGraph::standard();
+  const auto full = g.plan(false);
+  const auto pruned = g.plan(true);
+  ASSERT_EQ(full.size(), 15u);
+  ASSERT_EQ(pruned.size(), 12u);
+
+  std::vector<std::string> dropped;
+  for (const StageNode* n : full) {
+    bool kept = false;
+    for (const StageNode* p : pruned) kept = kept || p == n;
+    if (!kept) dropped.push_back(n->name);
+  }
+  // The paper's P#6/P#12/P#14 analogues, and nothing else.
+  EXPECT_EQ(dropped,
+            (std::vector<std::string>{"reparse", "fas_preview", "repeaks"}));
+  for (const StageNode* n : pruned) EXPECT_FALSE(n->redundant) << n->name;
+}
+
+TEST(StageGraph, EveryStageFactoryProducesItsNamedStage) {
+  const StageGraph g = StageGraph::standard();
+  for (const StageNode* n : g.plan(false)) {
+    auto stage = n->make();
+    ASSERT_NE(stage, nullptr) << n->name;
+    EXPECT_EQ(stage->name(), n->name);
+  }
+  EXPECT_EQ(make_stage("no_such_stage", {}, {}), nullptr);
+}
+
+TEST(StageGraph, VerifyRejectsUnknownAndForwardDeps) {
+  StageGraph unknown;
+  unknown.add(node("a", {"ghost"}));
+  auto audit = unknown.verify();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.error().find("unknown stage 'ghost'"), std::string::npos);
+
+  // Deps on later nodes are rejected: declaration order must be
+  // topological, it doubles as the sequential execution order.
+  StageGraph forward;
+  forward.add(node("a", {"b"}));
+  forward.add(node("b", {}));
+  audit = forward.verify();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.error().find("later stage 'b'"), std::string::npos);
+}
+
+TEST(StageGraph, VerifyRejectsDuplicatesAndMissingFactories) {
+  StageGraph dup;
+  dup.add(node("a", {}));
+  dup.add(node("a", {}));
+  auto audit = dup.verify();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.error().find("duplicate"), std::string::npos);
+
+  StageGraph unmade;
+  StageNode n = node("a", {});
+  n.make = nullptr;
+  unmade.add(std::move(n));
+  audit = unmade.verify();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.error().find("no factory"), std::string::npos);
+}
+
+TEST(StageGraph, VerifyRejectsLiveDependencyOnRedundantNode) {
+  // Pruning must never sever an edge a surviving node depends on.
+  StageGraph g;
+  g.add(node("a", {}));
+  g.add(node("extra", {"a"}, /*redundant=*/true));
+  g.add(node("b", {"extra"}));
+  auto audit = g.verify();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.error().find("redundant stage 'extra'"), std::string::npos);
+
+  // A redundant node depending on another redundant node is fine: they
+  // are pruned together.
+  StageGraph ok;
+  ok.add(node("a", {}));
+  ok.add(node("extra", {"a"}, true));
+  ok.add(node("extra2", {"extra"}, true));
+  EXPECT_TRUE(ok.verify().ok());
+}
+
+}  // namespace
+}  // namespace acx::pipeline

@@ -74,14 +74,15 @@ TEST(Pipeline, HappyPathProducesAllOutputsAndCleanReport) {
     EXPECT_FALSE(v2.value().comments.empty());
     // The spectral outputs are claimed alongside the V2 and pass their
     // own strict readers.
+    // outputs are sorted for byte-stable reports: .f, .r, .v2.
     ASSERT_EQ(r.outputs.size(), 3u);
-    EXPECT_EQ(r.outputs[0], r.output);
-    auto f_content = fs.read_file(r.outputs[1]);
+    EXPECT_EQ(r.outputs[2], r.output);
+    auto f_content = fs.read_file(r.outputs[0]);
     ASSERT_TRUE(f_content.ok());
     auto f = formats::read_f(f_content.value());
     ASSERT_TRUE(f.ok()) << f.error().to_string();
     EXPECT_EQ(f.value().header.id(), r.record);
-    auto r_content = fs.read_file(r.outputs[2]);
+    auto r_content = fs.read_file(r.outputs[1]);
     ASSERT_TRUE(r_content.ok());
     auto rr = formats::read_r(r_content.value());
     ASSERT_TRUE(rr.ok()) << rr.error().to_string();

@@ -1,12 +1,19 @@
 // acx_process — fault-tolerant pipeline runner.
 //
-//   acx_process --input DIR --work DIR [--keep-going|--fail-fast]
+//   acx_process --input DIR --work DIR
+//               [--driver seq|seq-opt|partial|full] [--threads N]
+//               [--baseline REPORT] [--keep-going|--fail-fast]
 //               [--max-retries N] [--report]
 //
-// Processes every *.v1 record in --input. Poisoned records are
+// Processes every *.v1 record in --input with one of the paper's four
+// drivers (default seq, the Sequential Original). Poisoned records are
 // quarantined under <work>/quarantine and the run continues (unless
 // --fail-fast); transient I/O errors are retried with capped
 // exponential backoff. Outcomes land in <work>/run_report.json.
+// --threads sets the OpenMP team size of the parallel drivers (0 = all
+// hardware threads); --baseline points at a sequential run's
+// run_report.json, and stamps speedup_vs_sequential into this run's
+// report.
 //
 // Exit codes: 0 = all records ok; 3 = completed but some records
 // quarantined; 1 = the run itself failed (work dir or report I/O).
@@ -16,12 +23,15 @@
 #include <string>
 
 #include "pipeline/runner.hpp"
+#include "util/fs.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --input DIR --work DIR [--keep-going|--fail-fast] "
+               "usage: %s --input DIR --work DIR "
+               "[--driver seq|seq-opt|partial|full] [--threads N] "
+               "[--baseline REPORT] [--keep-going|--fail-fast] "
                "[--max-retries N] [--report]\n",
                argv0);
   return 2;
@@ -30,7 +40,7 @@ int usage(const char* argv0) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input_dir, work_dir;
+  std::string input_dir, work_dir, baseline_path;
   bool report_to_stdout = false;
   acx::pipeline::RunnerConfig cfg;
 
@@ -47,6 +57,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       work_dir = v;
+    } else if (arg == "--driver") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      auto driver = acx::pipeline::parse_driver(v);
+      if (!driver) {
+        std::fprintf(stderr, "acx_process: unknown driver '%s'\n", v);
+        return usage(argv[0]);
+      }
+      cfg.driver = *driver;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      cfg.threads = std::atoi(v);
+      if (cfg.threads < 0) return usage(argv[0]);
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      baseline_path = v;
     } else if (arg == "--keep-going") {
       cfg.keep_going = true;
     } else if (arg == "--fail-fast") {
@@ -62,8 +90,30 @@ int main(int argc, char** argv) {
     }
   }
   if (input_dir.empty() || work_dir.empty()) return usage(argv[0]);
+  if (!cfg.keep_going && acx::pipeline::is_parallel(cfg.driver)) {
+    std::fprintf(stderr,
+                 "acx_process: --fail-fast has no serial notion of 'first' "
+                 "under a parallel driver; running keep-going\n");
+    cfg.keep_going = true;
+  }
 
   acx::RealFileSystem fs;
+  if (!baseline_path.empty()) {
+    auto text = fs.read_file(baseline_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "acx_process: cannot read baseline: %s\n",
+                   text.error().to_string().c_str());
+      return 1;
+    }
+    auto baseline = acx::pipeline::RunReport::from_json_text(text.value());
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "acx_process: bad baseline report: %s\n",
+                   baseline.error().c_str());
+      return 1;
+    }
+    cfg.baseline_total_seconds = baseline.value().total_seconds;
+  }
+
   auto run = acx::pipeline::run_pipeline(fs, input_dir, work_dir, cfg);
   if (!run.ok()) {
     std::fprintf(stderr, "acx_process: run failed: %s\n",
@@ -72,9 +122,16 @@ int main(int argc, char** argv) {
   }
   const acx::pipeline::RunReport& report = run.value();
 
-  std::printf("acx_process: %zu records, %d ok, %d quarantined, %d retries\n",
-              report.records.size(), report.count_ok(),
-              report.count_quarantined(), report.count_retries());
+  std::printf(
+      "acx_process: driver %s, %d thread%s: %zu records, %d ok, "
+      "%d quarantined, %d retries\n",
+      report.driver.c_str(), report.threads, report.threads == 1 ? "" : "s",
+      report.records.size(), report.count_ok(), report.count_quarantined(),
+      report.count_retries());
+  if (report.speedup_vs_sequential > 0) {
+    std::printf("  speedup vs sequential baseline: %.2fx\n",
+                report.speedup_vs_sequential);
+  }
   for (const auto& r : report.records) {
     if (r.status == acx::pipeline::RecordOutcome::Status::kQuarantined) {
       std::printf("  quarantined %-8s %s\n", r.record.c_str(),
