@@ -72,10 +72,28 @@ void BM_CorrectionChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
+void BM_RfftComplexRef(benchmark::State& state) {
+  // The pre-plan rfft shape: promote the real input to complex and run
+  // the full-length transform. BM_FftPow2 at the same size is the
+  // half-size real path; the ratio is the real-FFT win.
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<acx::signal::Complex> cx(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      cx[i] = acx::signal::Complex(x[i], 0.0);
+    }
+    auto spec = acx::signal::fft(std::move(cx));
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
 }  // namespace
 
 BENCHMARK(BM_FftPow2)->Arg(8192)->Arg(32768);
 BENCHMARK(BM_FftBluestein)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_RfftComplexRef)->Name("signal.rfft_complex_ref")
+    ->Arg(8192)->Arg(32768);
 BENCHMARK(BM_FirBandPass)->Arg(7300)->Arg(35000);
 BENCHMARK(BM_CorrectionChain)->Arg(7300)->Arg(35000);
 

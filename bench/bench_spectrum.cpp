@@ -11,6 +11,7 @@
 #include "spectrum/corners.hpp"
 #include "spectrum/fourier.hpp"
 #include "spectrum/response.hpp"
+#include "spectrum/response_plan.hpp"
 
 namespace {
 
@@ -69,11 +70,74 @@ void BM_Response(benchmark::State& state) {
                                             grid.dampings.size()));
 }
 
+void BM_ResponsePlanCold(benchmark::State& state) {
+  // Materializing the 3000 NigamJennings coefficient sets of the paper
+  // grid — the per-record setup cost the plan cache amortizes away.
+  const auto grid = acx::spectrum::paper_grid();
+  for (auto _ : state) {
+    auto plan = acx::spectrum::ResponsePlan::build(0.005, grid);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(grid.periods.size() *
+                                            grid.dampings.size()));
+}
+
+void BM_ResponsePlanCached(benchmark::State& state) {
+  // The same lookup served warm: one shared-lock map probe.
+  const auto grid = acx::spectrum::paper_grid();
+  auto warm = acx::spectrum::ResponsePlanCache::instance().get(0.005, grid);
+  benchmark::DoNotOptimize(warm);
+  for (auto _ : state) {
+    auto plan = acx::spectrum::ResponsePlanCache::instance().get(0.005, grid);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SdofScalarBlock(benchmark::State& state) {
+  // kSdofBatchBlock cells one at a time through the scalar kernel:
+  // the pre-batch cost of one block's worth of Stage-IX work.
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const auto grid = acx::spectrum::paper_grid();
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < acx::spectrum::kSdofBatchBlock; ++p) {
+      auto peaks =
+          acx::spectrum::sdof_peak_response(x, 0.005, grid.periods[p], 0.05);
+      benchmark::DoNotOptimize(peaks);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<long>(acx::spectrum::kSdofBatchBlock));
+}
+
+void BM_SdofBatchBlock(benchmark::State& state) {
+  // The same kSdofBatchBlock cells marched in lockstep by the batch
+  // kernel over a cached plan — directly comparable to sdof_scalar32.
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const auto grid = acx::spectrum::paper_grid();
+  const auto plan =
+      acx::spectrum::ResponsePlanCache::instance().get(0.005, grid).value();
+  std::vector<double> sd(plan->cells), sv(plan->cells), sa(plan->cells);
+  for (auto _ : state) {
+    acx::spectrum::sdof_peak_response_batch(
+        x.data(), x.size(), *plan, 0, acx::spectrum::kSdofBatchBlock,
+        sd.data(), sv.data(), sa.data());
+    benchmark::DoNotOptimize(sd.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<long>(acx::spectrum::kSdofBatchBlock));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Fourier)->Name("spectrum.fourier")->Arg(7300)->Arg(35000);
 BENCHMARK(BM_Corners)->Name("spectrum.corners")->Arg(7300)->Arg(35000);
 BENCHMARK(BM_Sdof)->Name("spectrum.sdof")->Arg(7300)->Arg(35000);
 BENCHMARK(BM_Response)->Name("spectrum.response")->Arg(7300);
+BENCHMARK(BM_ResponsePlanCold)->Name("spectrum.response_plan_cold");
+BENCHMARK(BM_ResponsePlanCached)->Name("spectrum.response_plan_cached");
+BENCHMARK(BM_SdofScalarBlock)->Name("spectrum.sdof_scalar32")->Arg(7300);
+BENCHMARK(BM_SdofBatchBlock)->Name("spectrum.sdof_batch32")->Arg(7300);
 
 BENCHMARK_MAIN();

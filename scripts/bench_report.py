@@ -10,11 +10,18 @@ current run also fails (a silently dropped bench would otherwise look
 like a speedup).  Refresh the checked-in baseline with
 ``--update-baseline`` after a deliberate performance change.
 
+``--trajectory DIR`` is a standalone mode: it reads every normalized
+``BENCH_<sha>.json`` in DIR (the CI-accumulated ``bench/history/``
+bundle), orders them by modification time, and prints each benchmark's
+cpu-time trend across PRs — oldest to newest, with the newest/oldest
+ratio (< 1.00x means the trajectory got faster).
+
 Exit codes: 0 ok, 1 regression (or missing benchmark), 2 usage/input
 error.
 """
 
 import argparse
+import glob
 import json
 import os
 import sys
@@ -84,12 +91,63 @@ def compare(current, baseline, tolerance):
     return failures
 
 
+def trajectory(history_dir):
+    """Print the per-benchmark cpu-time trend across a history bundle."""
+    paths = sorted(glob.glob(os.path.join(history_dir, "BENCH_*.json")),
+                   key=os.path.getmtime)
+    if not paths:
+        print(f"bench_report: no BENCH_*.json in {history_dir} "
+              "(trajectory is empty)")
+        return 0
+    runs = []
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            runs.append((doc.get("sha", "unknown")[:9], doc["benchmarks"]))
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            raise SystemExit(f"bench_report: cannot read {path}: {exc}")
+
+    names = sorted({name for _, benches in runs for name in benches})
+    name_w = max(len("benchmark"), max(len(n) for n in names))
+    shas = [sha for sha, _ in runs]
+    col_w = max(12, max(len(s) for s in shas) + 2)
+
+    print(f"bench_report: trajectory over {len(runs)} runs in {history_dir} "
+          "(cpu ms, oldest to newest)")
+    print("benchmark".ljust(name_w)
+          + "".join(s.rjust(col_w) for s in shas)
+          + "trend".rjust(10))
+    for name in names:
+        cells = []
+        series = []
+        for _, benches in runs:
+            entry = benches.get(name)
+            if entry is None:
+                cells.append("-")
+            else:
+                ns = entry["cpu_time_ns"]
+                series.append(ns)
+                cells.append(f"{ns / 1e6:.3f}")
+        if len(series) >= 2 and series[0] > 0:
+            trend = f"{series[-1] / series[0]:.2f}x"
+        else:
+            trend = "-"
+        print(name.ljust(name_w)
+              + "".join(c.rjust(col_w) for c in cells)
+              + trend.rjust(10))
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("inputs", nargs="+",
+    parser.add_argument("inputs", nargs="*",
                         help="google-benchmark JSON files")
-    parser.add_argument("--out", required=True,
+    parser.add_argument("--out",
                         help="normalized report to write (BENCH_<sha>.json)")
+    parser.add_argument("--trajectory", metavar="DIR",
+                        help="print the per-PR perf trend from a directory "
+                             "of normalized BENCH_<sha>.json files and exit")
     parser.add_argument("--sha", default="unknown",
                         help="commit the measurements belong to")
     parser.add_argument("--baseline", default=None,
@@ -104,6 +162,12 @@ def main(argv):
                         help="rewrite the baseline from this run instead of "
                              "comparing")
     args = parser.parse_args(argv)
+    if args.trajectory is not None:
+        return trajectory(args.trajectory)
+    if not args.inputs:
+        raise SystemExit("bench_report: no input files (and no --trajectory)")
+    if args.out is None:
+        raise SystemExit("bench_report: --out is required without --trajectory")
     if args.tolerance <= 1.0:
         raise SystemExit("bench_report: --tolerance must be > 1.0")
 

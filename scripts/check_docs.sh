@@ -40,8 +40,10 @@ done
 
 # 3. The report schema keys documented in docs/PIPELINE.md must still
 #    exist in the writer (catches a schema rename that forgets the doc).
-for key in version total_seconds stage_totals stage_shares counts records \
-           seconds outputs driver threads speedup_vs_sequential; do
+for key in version total_seconds stage_totals stage_shares stage_profile \
+           counts records seconds outputs driver threads \
+           speedup_vs_sequential cache_hits cache_misses setup_seconds \
+           kernel_seconds; do
   if ! grep -q "\"$key\"" src/pipeline/report.cpp; then
     echo "docs-rot: docs/PIPELINE.md documents run-report key '$key'" \
          "but src/pipeline/report.cpp no longer emits it" >&2

@@ -19,7 +19,7 @@ record sets, zero-time baseline).
 import json
 import sys
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 def load_report(path):
@@ -33,7 +33,7 @@ def load_report(path):
             f"speedup_table: {path} is schema v{doc.get('version')}, "
             f"need v{SCHEMA_VERSION}")
     for key in ("driver", "threads", "total_seconds", "stage_totals",
-                "records"):
+                "stage_profile", "records"):
         if key not in doc:
             raise SystemExit(f"speedup_table: {path} lacks '{key}'")
     return doc
@@ -98,6 +98,39 @@ def main(argv):
         else:
             speedups.append("-")
     print(row("speedup", speedups))
+
+    # Schema-v5 profiling appendix: per-stage plan-cache traffic and the
+    # setup-vs-kernel split, for every stage that touched a plan cache
+    # in any report. "setup" is amortizable plan lookup/build time; a
+    # growing setup share at constant hit rate is a setup-cost
+    # regression.
+    profiled = [s for s in stages
+                if any(any(doc["stage_profile"].get(s, {}).get(k)
+                           for k in ("cache_hits", "cache_misses",
+                                     "setup_seconds", "kernel_seconds"))
+                       for doc in reports)]
+    if profiled:
+        def cell(doc, stage):
+            p = doc["stage_profile"].get(stage)
+            if p is None:
+                return "-"
+            return (f"{int(p['cache_hits'])}h/{int(p['cache_misses'])}m "
+                    f"{p['setup_seconds']:.4f}+{p['kernel_seconds']:.4f}s")
+
+        prof_w = max(col_w,
+                     2 + max(len(cell(doc, s))
+                             for s in profiled for doc in reports))
+
+        def prow(name, cells):
+            return name.ljust(stage_w) + "".join(c.rjust(prof_w)
+                                                 for c in cells)
+
+        print()
+        print("plan caches (hits/misses, setup+kernel seconds)")
+        print(prow("stage", labels))
+        print("-" * (stage_w + prof_w * len(labels)))
+        for stage in profiled:
+            print(prow(stage, [cell(doc, stage) for doc in reports]))
     return 0
 
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/perf.hpp"
+
 namespace acx::pipeline {
 
 namespace stdfs = std::filesystem;
@@ -36,6 +38,7 @@ RecordSlot RecordExecutor::make_slot(const stdfs::path& input,
   slot.ctx.scratch_dir = work_dir / "scratch" / slot.outcome.record;
   slot.ctx.out_dir = work_dir / "out";
   slot.ctx.record_id = slot.outcome.record;
+  slot.input_bytes = fs_.file_size(input);
   return slot;
 }
 
@@ -61,17 +64,28 @@ bool RecordExecutor::run_step(
     const std::string& name, RecordOutcome& outcome, StageError& failure,
     const std::function<Result<Unit, StageError>()>& fn) {
   int attempts = 0;
+  // A stage runs start-to-finish on this thread, so the delta of the
+  // thread-local perf counters across the retry loop is exactly the
+  // cache traffic and setup/kernel time this stage incurred.
+  const perf::Counters before = perf::local();
   const auto started = std::chrono::steady_clock::now();
   auto r = run_with_retry<Unit, StageError>(
       cfg_.retry, cfg_.sleep,
       [](const StageError& e) { return e.klass; }, fn, &attempts);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - started;
+  const perf::Counters after = perf::local();
   StageAttempt attempt;
   attempt.stage = name;
   attempt.attempts = attempts;
   attempt.ok = r.ok();
   attempt.seconds = elapsed.count();
+  attempt.cache_hits =
+      static_cast<long long>(after.cache_hits - before.cache_hits);
+  attempt.cache_misses =
+      static_cast<long long>(after.cache_misses - before.cache_misses);
+  attempt.setup_seconds = after.setup_seconds - before.setup_seconds;
+  attempt.kernel_seconds = after.kernel_seconds - before.kernel_seconds;
   if (!r.ok()) {
     failure = r.error();
     attempt.error = failure.reason;

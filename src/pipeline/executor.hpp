@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -23,6 +24,10 @@ struct RecordSlot {
   RecordContext ctx;
   RecordOutcome outcome;
   StageError failure;
+  // Input size (bytes, 0 if unknown): a cheap proxy for record length,
+  // used by the full driver to hand out long records first so one late
+  // straggler cannot serialize the tail of the run.
+  std::uintmax_t input_bytes = 0;
   bool failed = false;     // a stage (or scratch setup) failed
   bool processed = false;  // finalize() ran; the outcome is reportable
 };

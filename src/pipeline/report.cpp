@@ -45,6 +45,20 @@ std::map<std::string, double> RunReport::stage_shares() const {
   return shares;
 }
 
+std::map<std::string, StageProfile> RunReport::stage_profile() const {
+  std::map<std::string, StageProfile> profile;
+  for (const auto& r : records) {
+    for (const auto& s : r.stages) {
+      StageProfile& p = profile[s.stage];
+      p.cache_hits += s.cache_hits;
+      p.cache_misses += s.cache_misses;
+      p.setup_seconds += s.setup_seconds;
+      p.kernel_seconds += s.kernel_seconds;
+    }
+  }
+  return profile;
+}
+
 void RunReport::sort_records() {
   std::sort(records.begin(), records.end(),
             [](const RecordOutcome& a, const RecordOutcome& b) {
@@ -127,6 +141,17 @@ Json RunReport::to_json() const {
   }
   root.set("stage_shares", std::move(shares));
 
+  Json profile = Json::object();
+  for (const auto& [stage, p] : stage_profile()) {
+    Json jp = Json::object();
+    jp.set("cache_hits", static_cast<double>(p.cache_hits));
+    jp.set("cache_misses", static_cast<double>(p.cache_misses));
+    jp.set("setup_seconds", p.setup_seconds);
+    jp.set("kernel_seconds", p.kernel_seconds);
+    profile.set(stage, std::move(jp));
+  }
+  root.set("stage_profile", std::move(profile));
+
   Json counts = Json::object();
   counts.set("input", static_cast<int>(records.size()));
   counts.set("ok", count_ok());
@@ -160,6 +185,10 @@ Json RunReport::to_json() const {
       js.set("ok", s.ok);
       if (!s.error.empty()) js.set("error", s.error);
       js.set("seconds", s.seconds);
+      js.set("cache_hits", static_cast<double>(s.cache_hits));
+      js.set("cache_misses", static_cast<double>(s.cache_misses));
+      js.set("setup_seconds", s.setup_seconds);
+      js.set("kernel_seconds", s.kernel_seconds);
       stages.push(std::move(js));
     }
     jr.set("stages", std::move(stages));
@@ -253,6 +282,16 @@ Result<RunReport, std::string> RunReport::from_json_text(
           return "record '" + r.record + "' stage '" + s.stage +
                  "' has negative seconds";
         }
+        s.cache_hits = static_cast<long long>(js.get_number("cache_hits", 0));
+        s.cache_misses =
+            static_cast<long long>(js.get_number("cache_misses", 0));
+        s.setup_seconds = js.get_number("setup_seconds", 0);
+        s.kernel_seconds = js.get_number("kernel_seconds", 0);
+        if (s.cache_hits < 0 || s.cache_misses < 0 || s.setup_seconds < 0 ||
+            s.kernel_seconds < 0) {
+          return "record '" + r.record + "' stage '" + s.stage +
+                 "' has a negative profiling field";
+        }
         r.stages.push_back(std::move(s));
       }
     }
@@ -308,6 +347,38 @@ Result<RunReport, std::string> RunReport::from_json_text(
   }
   if (shares->fields().size() != computed_shares.size()) {
     return std::string("stage_shares names a stage the records array lacks");
+  }
+
+  // The derived stage_profile block must agree with the per-stage
+  // profiling fields in the records array (counts exactly, seconds
+  // within float-formatting slack).
+  const Json* profile = root.find("stage_profile");
+  if (!profile || !profile->is_object()) {
+    return std::string("run report has no stage_profile block");
+  }
+  const auto computed_profile = report.stage_profile();
+  for (const auto& [stage, p] : computed_profile) {
+    const Json* entry = profile->find(stage);
+    if (!entry || !entry->is_object()) {
+      return "stage_profile entry for '" + stage + "' is missing";
+    }
+    const bool counts_match =
+        static_cast<long long>(entry->get_number("cache_hits", -1)) ==
+            p.cache_hits &&
+        static_cast<long long>(entry->get_number("cache_misses", -1)) ==
+            p.cache_misses;
+    const bool seconds_match =
+        std::fabs(entry->get_number("setup_seconds", -1) - p.setup_seconds) <=
+            1e-6 + 1e-6 * p.setup_seconds &&
+        std::fabs(entry->get_number("kernel_seconds", -1) - p.kernel_seconds) <=
+            1e-6 + 1e-6 * p.kernel_seconds;
+    if (!counts_match || !seconds_match) {
+      return "stage_profile entry for '" + stage +
+             "' disagrees with the records array";
+    }
+  }
+  if (profile->fields().size() != computed_profile.size()) {
+    return std::string("stage_profile names a stage the records array lacks");
   }
 
   // An ok record's outputs array, when present, must include the

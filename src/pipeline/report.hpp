@@ -16,6 +16,15 @@ struct StageAttempt {
   bool ok = false;
   std::string error;   // reason slug of the final failure, empty when ok
   double seconds = 0;  // wall clock across all attempts of this stage
+  // v5 profiling split, drained from the thread-local acx::perf
+  // counters around the stage: how often the plan caches (ResponsePlan,
+  // FftPlan, smoothing extents) served vs built, and how the stage's
+  // time divides into amortizable plan setup vs the numeric kernels
+  // proper. Untimed glue (I/O, validation) is in `seconds` only.
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  double setup_seconds = 0;
+  double kernel_seconds = 0;
 };
 
 struct RecordOutcome {
@@ -35,13 +44,26 @@ struct RecordOutcome {
   double seconds = 0;  // wall clock of this record, summed over stages
 };
 
+// Per-stage aggregate of the v5 profiling fields, summed over records.
+struct StageProfile {
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  double setup_seconds = 0;
+  double kernel_seconds = 0;
+};
+
 // The machine-readable outcome of one event run, written atomically to
 // <work_dir>/run_report.json. Schema documented in docs/PIPELINE.md.
-// v4 adds the driver block: which of the four paper implementations
+// v4 added the driver block: which of the four paper implementations
 // ran, with how many threads, and the measured speedup against a
-// sequential baseline when one was supplied.
+// sequential baseline when one was supplied. v5 adds the profiling
+// split: per-stage cache_hits/cache_misses and setup_seconds vs
+// kernel_seconds (plus the derived stage_profile block), so the
+// plan-cache layer's effect is visible per run. canonical_dump() is
+// unchanged — cache attribution depends on which record warmed a plan
+// first, which is interleaving-dependent under the parallel drivers.
 struct RunReport {
-  static constexpr int kVersion = 4;
+  static constexpr int kVersion = 5;
 
   std::string input_dir;
   std::string work_dir;
@@ -63,6 +85,10 @@ struct RunReport {
   // is how the paper's "Stage IX is 57.2% of the sequential run" claim
   // is measured on our own runs: stage_shares()["response"].
   std::map<std::string, double> stage_shares() const;
+  // v5: per-stage cache traffic and setup-vs-kernel seconds, summed
+  // over records — what scripts/speedup_table.py renders and the bench
+  // gate watches for setup-cost regressions.
+  std::map<std::string, StageProfile> stage_profile() const;
 
   // Determinism: records ordered by id, each record's outputs array
   // sorted. The runner calls this before serializing, so the report is

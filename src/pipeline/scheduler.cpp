@@ -2,6 +2,10 @@
 
 #include <omp.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
 namespace acx::pipeline {
 
 namespace stdfs = std::filesystem;
@@ -69,6 +73,16 @@ class PartialParallelScheduler final : public Scheduler {
 // response stage's period loop is the nested `omp for` (the runner
 // sets SpectrumConfig::response_threads for this driver), so
 // max_active_levels must admit two levels.
+//
+// Records differ in length by up to ~7x within one event (5-19 files,
+// 56K-384K points), so the fan-out combines schedule(dynamic, 1) with
+// longest-first issue order: sort an index permutation by input size
+// descending (record id ascending as the tie-break, so the order is
+// deterministic) and let the dynamic schedule keep every thread fed.
+// Without the ordering a long record dealt last serializes the tail of
+// the run; bench_pipeline's full-driver bench measures the effect (see
+// docs/PERF.md). Only the issue order changes — outcomes land in their
+// original slots and the report is sorted by id regardless.
 class FullParallelScheduler final : public Scheduler {
  public:
   explicit FullParallelScheduler(int threads) : threads_(threads) {}
@@ -77,9 +91,17 @@ class FullParallelScheduler final : public Scheduler {
            const stdfs::path& work_dir) override {
     omp_set_max_active_levels(2);
     const long long n = static_cast<long long>(slots.size());
+    std::vector<std::size_t> order(slots.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (slots[a].input_bytes != slots[b].input_bytes) {
+        return slots[a].input_bytes > slots[b].input_bytes;
+      }
+      return slots[a].outcome.record < slots[b].outcome.record;
+    });
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads_)
     for (long long i = 0; i < n; ++i) {
-      exec.run_record(slots[static_cast<std::size_t>(i)], work_dir);
+      exec.run_record(slots[order[static_cast<std::size_t>(i)]], work_dir);
     }
   }
 

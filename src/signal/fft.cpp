@@ -1,82 +1,43 @@
 #include "signal/fft.hpp"
 
 #include <cmath>
-#include <numbers>
+#include <string>
 #include <utility>
+
+#include "signal/fft_plan.hpp"
+#include "util/perf.hpp"
 
 namespace acx::signal {
 
 namespace {
 
-constexpr double kPi = std::numbers::pi;
-
-void bit_reverse_permute(std::vector<Complex>& a) {
-  const std::size_t n = a.size();
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j |= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-}
-
-// In-place iterative radix-2 Cooley–Tukey. n must be a power of two.
-// inverse=true conjugates the twiddles but does NOT apply 1/n — the
-// callers own the normalization so Bluestein can reuse the kernel.
-void fft_pow2(std::vector<Complex>& a, bool inverse) {
-  const std::size_t n = a.size();
-  if (n < 2) return;
-  bit_reverse_permute(a);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
-    const Complex wlen(std::cos(ang), std::sin(ang));
-    for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex u = a[i + k];
-        const Complex v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-// Bluestein chirp-z: expresses an arbitrary-N DFT as a circular
-// convolution of chirp-premultiplied input with the conjugate chirp,
-// evaluated by zero-padded power-of-two FFTs of size m >= 2N-1.
-// k^2 is reduced mod 2N before the angle is formed so the chirp stays
-// exact for large N.
-std::vector<Complex> bluestein(const std::vector<Complex>& x, bool inverse) {
+// Bluestein chirp-z using a cached plan: chirp-premultiply, circular
+// convolution with the precomputed kernel spectrum via two (not
+// three) power-of-two FFTs, chirp-postmultiply. The inverse direction
+// conjugates the chirp on the fly (exact sign flips).
+std::vector<Complex> bluestein_execute(const std::vector<Complex>& x,
+                                       const BluesteinPlan& plan,
+                                       bool inverse) {
   const std::size_t n = x.size();
-  const double sign = inverse ? 1.0 : -1.0;
-
-  std::vector<Complex> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::size_t k2 = (k * k) % (2 * n);
-    chirp[k] =
-        std::polar(1.0, sign * kPi * static_cast<double>(k2) /
-                            static_cast<double>(n));
-  }
-
-  std::size_t m = 1;
-  while (m < 2 * n - 1) m <<= 1;
+  const std::size_t m = plan.m;
 
   std::vector<Complex> a(m, Complex{});
-  std::vector<Complex> b(m, Complex{});
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(chirp[k]);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex c = inverse ? std::conj(plan.chirp[k]) : plan.chirp[k];
+    a[k] = x[k] * c;
+  }
 
-  fft_pow2(a, false);
-  fft_pow2(b, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_pow2(a, true);
+  fft_pow2_execute(a, *plan.pow2, false);
+  const std::vector<Complex>& bfft = inverse ? plan.bfft_inv : plan.bfft_fwd;
+  for (std::size_t k = 0; k < m; ++k) a[k] *= bfft[k];
+  fft_pow2_execute(a, *plan.pow2, true);
 
   std::vector<Complex> out(n);
   const double inv_m = 1.0 / static_cast<double>(m);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k] * inv_m;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex c = inverse ? std::conj(plan.chirp[k]) : plan.chirp[k];
+    out[k] = a[k] * c * inv_m;
+  }
   return out;
 }
 
@@ -100,19 +61,43 @@ Result<std::vector<Complex>, SignalError> fft(std::vector<Complex> x) {
   auto valid = check_input(x);
   if (!valid.ok()) return std::move(valid).take_error();
   if (is_power_of_two(x.size())) {
-    fft_pow2(x, false);
+    std::shared_ptr<const Pow2Plan> plan;
+    {
+      perf::ScopedTimer setup(perf::ScopedTimer::kSetup);
+      plan = FftPlanCache::instance().pow2(x.size());
+    }
+    perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
+    fft_pow2_execute(x, *plan, false);
     return x;
   }
-  return bluestein(x, false);
+  std::shared_ptr<const BluesteinPlan> plan;
+  {
+    perf::ScopedTimer setup(perf::ScopedTimer::kSetup);
+    plan = FftPlanCache::instance().bluestein(x.size());
+  }
+  perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
+  return bluestein_execute(x, *plan, false);
 }
 
 Result<std::vector<Complex>, SignalError> ifft(std::vector<Complex> x) {
   auto valid = check_input(x);
   if (!valid.ok()) return std::move(valid).take_error();
   if (is_power_of_two(x.size())) {
-    fft_pow2(x, true);
+    std::shared_ptr<const Pow2Plan> plan;
+    {
+      perf::ScopedTimer setup(perf::ScopedTimer::kSetup);
+      plan = FftPlanCache::instance().pow2(x.size());
+    }
+    perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
+    fft_pow2_execute(x, *plan, true);
   } else {
-    x = bluestein(x, true);
+    std::shared_ptr<const BluesteinPlan> plan;
+    {
+      perf::ScopedTimer setup(perf::ScopedTimer::kSetup);
+      plan = FftPlanCache::instance().bluestein(x.size());
+    }
+    perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
+    x = bluestein_execute(x, *plan, true);
   }
   const double inv_n = 1.0 / static_cast<double>(x.size());
   for (Complex& v : x) v *= inv_n;
@@ -120,12 +105,61 @@ Result<std::vector<Complex>, SignalError> ifft(std::vector<Complex> x) {
 }
 
 Result<std::vector<Complex>, SignalError> rfft(const std::vector<double>& x) {
-  std::vector<Complex> cx(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
-  auto full = fft(std::move(cx));
-  if (!full.ok()) return std::move(full).take_error();
-  std::vector<Complex> spec = std::move(full).take();
-  spec.resize(spec.empty() ? 0 : x.size() / 2 + 1);
+  const std::size_t n = x.size();
+  if (n == 0) {
+    return SignalError{SignalError::Code::kEmptyInput, "fft of zero samples"};
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i])) {
+      return SignalError{SignalError::Code::kNonFinite,
+                         "fft input sample " + std::to_string(i) +
+                             " is not finite"};
+    }
+  }
+
+  if (n % 2 != 0) {
+    // Odd lengths keep the complex-promotion path (the pipeline pads
+    // to powers of two, so this is a cold corner).
+    std::vector<Complex> cx(n);
+    for (std::size_t i = 0; i < n; ++i) cx[i] = Complex(x[i], 0.0);
+    auto full = fft(std::move(cx));
+    if (!full.ok()) return std::move(full).take_error();
+    std::vector<Complex> spec = std::move(full).take();
+    spec.resize(n / 2 + 1);
+    return spec;
+  }
+
+  // Even n: pack the real input into n/2 complex samples, run one
+  // half-size transform, and untangle the even/odd sub-spectra:
+  //   E[k] = (Z[k] + conj(Z[h-k])) / 2
+  //   O[k] = (Z[k] - conj(Z[h-k])) / (2i)
+  //   X[k] = E[k] + e^{-2*pi*i*k/n} O[k],  k = 0 .. n/2 (h = n/2).
+  std::shared_ptr<const RfftPlan> plan;
+  {
+    perf::ScopedTimer setup(perf::ScopedTimer::kSetup);
+    plan = FftPlanCache::instance().rfft(n);
+  }
+  perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
+
+  const std::size_t half = n / 2;
+  std::vector<Complex> z(half);
+  for (std::size_t j = 0; j < half; ++j) {
+    z[j] = Complex(x[2 * j], x[2 * j + 1]);
+  }
+  if (plan->half_pow2) {
+    fft_pow2_execute(z, *plan->half_pow2, false);
+  } else {
+    z = bluestein_execute(z, *plan->half_bluestein, false);
+  }
+
+  std::vector<Complex> spec(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) {
+    const Complex zk = z[k == half ? 0 : k];
+    const Complex zc = std::conj(z[(half - k) == half ? 0 : (half - k)]);
+    const Complex even = (zk + zc) * 0.5;
+    const Complex odd = (zk - zc) * Complex(0.0, -0.5);
+    spec[k] = even + plan->untangle[k] * odd;
+  }
   return spec;
 }
 

@@ -1,0 +1,175 @@
+#include "signal/fft_plan.hpp"
+
+#include <map>
+#include <mutex>
+#include <numbers>
+#include <shared_mutex>
+#include <utility>
+
+#include "signal/fft.hpp"
+#include "util/perf.hpp"
+
+namespace acx::signal {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+}  // namespace
+
+Pow2Plan Pow2Plan::build(std::size_t n) {
+  Pow2Plan plan;
+  plan.n = n;
+  plan.bitrev.resize(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    plan.bitrev[i] = static_cast<std::uint32_t>(
+        (plan.bitrev[i >> 1] >> 1) | ((i & 1) ? (n >> 1) : 0));
+  }
+  if (n >= 2) plan.twiddle.reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      plan.twiddle.push_back(std::polar(
+          1.0, -2.0 * kPi * static_cast<double>(k) / static_cast<double>(len)));
+    }
+  }
+  return plan;
+}
+
+void fft_pow2_execute(std::vector<Complex>& a, const Pow2Plan& plan,
+                      bool inverse) {
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const Complex* tw = plan.twiddle.data() + (len / 2 - 1);
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex w = inverse ? std::conj(tw[k]) : tw[k];
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+BluesteinPlan BluesteinPlan::build(std::size_t n,
+                                   std::shared_ptr<const Pow2Plan> pow2_m) {
+  BluesteinPlan plan;
+  plan.n = n;
+  plan.pow2 = std::move(pow2_m);
+  plan.m = plan.pow2->n;
+
+  plan.chirp.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    plan.chirp[k] = std::polar(
+        1.0, -kPi * static_cast<double>(k2) / static_cast<double>(n));
+  }
+
+  // Circular convolution kernels, transformed once per direction. The
+  // forward kernel is the conjugate chirp; the inverse direction's
+  // chirp is conj(chirp), so its kernel is the chirp itself.
+  std::vector<Complex> b(plan.m, Complex{});
+  b[0] = std::conj(plan.chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[plan.m - k] = std::conj(plan.chirp[k]);
+  }
+  fft_pow2_execute(b, *plan.pow2, false);
+  plan.bfft_fwd = std::move(b);
+
+  std::vector<Complex> bi(plan.m, Complex{});
+  bi[0] = plan.chirp[0];
+  for (std::size_t k = 1; k < n; ++k) {
+    bi[k] = bi[plan.m - k] = plan.chirp[k];
+  }
+  fft_pow2_execute(bi, *plan.pow2, false);
+  plan.bfft_inv = std::move(bi);
+
+  return plan;
+}
+
+struct FftPlanCache::Impl {
+  std::shared_mutex mu;
+  std::map<std::size_t, std::shared_ptr<const Pow2Plan>> pow2;
+  std::map<std::size_t, std::shared_ptr<const BluesteinPlan>> bluestein;
+  std::map<std::size_t, std::shared_ptr<const RfftPlan>> rfft;
+
+  // Shared-lock probe, build outside any lock (builders may recurse
+  // into sibling getters), publish under a unique lock; the first
+  // insert wins so concurrent misses still converge on one shared
+  // plan. A redundant build counts as a hit: exactly one miss is ever
+  // recorded per cached key.
+  template <typename T, typename Builder>
+  std::shared_ptr<const T> get(
+      std::map<std::size_t, std::shared_ptr<const T>>& map, std::size_t n,
+      Builder&& builder) {
+    {
+      std::shared_lock lock(mu);
+      auto it = map.find(n);
+      if (it != map.end()) {
+        perf::count_cache(true);
+        return it->second;
+      }
+    }
+    auto built = std::make_shared<const T>(builder());
+    {
+      std::unique_lock lock(mu);
+      auto [it, inserted] = map.emplace(n, std::move(built));
+      perf::count_cache(!inserted);
+      return it->second;
+    }
+  }
+};
+
+FftPlanCache::FftPlanCache() : impl_(new Impl) {}
+FftPlanCache::~FftPlanCache() { delete impl_; }
+
+FftPlanCache& FftPlanCache::instance() {
+  static FftPlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Pow2Plan> FftPlanCache::pow2(std::size_t n) {
+  return impl_->get(impl_->pow2, n, [n] { return Pow2Plan::build(n); });
+}
+
+std::shared_ptr<const BluesteinPlan> FftPlanCache::bluestein(std::size_t n) {
+  return impl_->get(impl_->bluestein, n, [this, n] {
+    std::size_t m = 1;
+    while (m < 2 * n - 1) m <<= 1;
+    return BluesteinPlan::build(n, pow2(m));
+  });
+}
+
+std::shared_ptr<const RfftPlan> FftPlanCache::rfft(std::size_t n) {
+  return impl_->get(impl_->rfft, n, [this, n] {
+    RfftPlan plan;
+    plan.n = n;
+    plan.untangle.resize(n / 2 + 1);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+      plan.untangle[k] = std::polar(
+          1.0, -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n));
+    }
+    const std::size_t half = n / 2;
+    if (is_power_of_two(half)) {
+      plan.half_pow2 = pow2(half);
+    } else {
+      plan.half_bluestein = bluestein(half);
+    }
+    return plan;
+  });
+}
+
+void FftPlanCache::clear() {
+  std::unique_lock lock(impl_->mu);
+  impl_->pow2.clear();
+  impl_->bluestein.clear();
+  impl_->rfft.clear();
+}
+
+}  // namespace acx::signal

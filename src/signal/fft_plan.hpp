@@ -1,0 +1,92 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace acx::signal {
+
+using Complex = std::complex<double>;
+
+// Precomputed transform plans. Building twiddle factors, bit-reversal
+// permutations, and Bluestein chirp/convolution scratch dominates the
+// cost of short transforms and is pure per-length setup, so the
+// pipeline amortizes it across records via FftPlanCache below.
+//
+// All plans are immutable after construction and shared as
+// shared_ptr<const T>; callers may use one plan from many threads
+// concurrently.
+
+// Radix-2 plan: full bit-reversal permutation plus the twiddles of
+// every butterfly stage, flattened. Stage `len` (len = 2, 4, ..., n)
+// holds the len/2 factors e^{-2*pi*i*k/len} starting at offset
+// len/2 - 1; the inverse transform conjugates them on the fly (exact).
+struct Pow2Plan {
+  std::size_t n = 0;
+  std::vector<std::uint32_t> bitrev;
+  std::vector<Complex> twiddle;  // n - 1 entries total
+
+  static Pow2Plan build(std::size_t n);  // n must be a power of two
+};
+
+// Bluestein chirp-z plan for arbitrary length n: the forward chirp
+// e^{-i*pi*k^2/n} (k^2 reduced mod 2n), and the length-m forward FFT
+// of the circular conjugate-chirp kernel for both transform
+// directions (the inverse direction's kernel is the un-conjugated
+// chirp, so it needs its own spectrum). m is the smallest power of
+// two >= 2n - 1; `pow2` is the shared plan for m.
+struct BluesteinPlan {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::vector<Complex> chirp;     // forward sign; conjugate for inverse
+  std::vector<Complex> bfft_fwd;  // FFT_m of the forward kernel
+  std::vector<Complex> bfft_inv;  // FFT_m of the inverse kernel
+  std::shared_ptr<const Pow2Plan> pow2;
+
+  static BluesteinPlan build(std::size_t n,
+                             std::shared_ptr<const Pow2Plan> pow2_m);
+};
+
+// Real-input plan for even n: untangle twiddles e^{-2*pi*i*k/n}
+// (k = 0 .. n/2) for recovering the length-n real spectrum from one
+// length-n/2 complex transform, plus the shared child plan for n/2
+// (exactly one of half_pow2 / half_bluestein is set).
+struct RfftPlan {
+  std::size_t n = 0;
+  std::vector<Complex> untangle;
+  std::shared_ptr<const Pow2Plan> half_pow2;
+  std::shared_ptr<const BluesteinPlan> half_bluestein;
+};
+
+// In-place radix-2 butterflies driven by the plan's tables; no 1/n
+// normalization (callers own it, as with the old kernel). a.size()
+// must equal plan.n.
+void fft_pow2_execute(std::vector<Complex>& a, const Pow2Plan& plan,
+                      bool inverse);
+
+// Process-global, internally-locked, read-mostly plan cache keyed by
+// transform length. Lookups take a shared lock; a miss builds the
+// plan outside any lock and publishes it under a unique lock (if two
+// threads race, the first insert wins and the loser's build is
+// discarded). Every lookup feeds acx::perf cache counters.
+class FftPlanCache {
+ public:
+  static FftPlanCache& instance();
+
+  std::shared_ptr<const Pow2Plan> pow2(std::size_t n);  // n: power of two
+  std::shared_ptr<const BluesteinPlan> bluestein(std::size_t n);  // n >= 1
+  std::shared_ptr<const RfftPlan> rfft(std::size_t n);            // n even
+
+  // Drops every cached plan (cold-start for tests and microbenches).
+  void clear();
+
+ private:
+  struct Impl;
+  FftPlanCache();
+  ~FftPlanCache();
+  Impl* impl_;
+};
+
+}  // namespace acx::signal

@@ -2,12 +2,74 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
+
+#include "util/perf.hpp"
 
 namespace acx::spectrum {
 
 namespace {
+
+// Window extents of the constant-relative-bandwidth smoother. They
+// depend only on (n, smoothing_bins, relative_bandwidth), never on
+// the spectrum values, so they are computed once per key and shared
+// across records (Konno–Ohmachi-style weights reduce to these
+// truncated [lo, hi] ranges under the moving-average kernel).
+struct SmoothingPlan {
+  std::vector<int> lo, hi;
+};
+
+class SmoothingPlanCache {
+ public:
+  static SmoothingPlanCache& instance() {
+    static SmoothingPlanCache cache;
+    return cache;
+  }
+
+  std::shared_ptr<const SmoothingPlan> get(int n, int bins, double rel) {
+    const Key key{n, bins, rel};
+    {
+      std::shared_lock lock(mu_);
+      auto it = plans_.find(key);
+      if (it != plans_.end()) {
+        perf::count_cache(true);
+        return it->second;
+      }
+    }
+    auto plan = std::make_shared<SmoothingPlan>();
+    plan->lo.resize(static_cast<std::size_t>(n));
+    plan->hi.resize(static_cast<std::size_t>(n));
+    const int base_half = bins / 2;
+    for (int i = 0; i < n; ++i) {
+      const int half = std::max(base_half, static_cast<int>(rel * i));
+      plan->lo[static_cast<std::size_t>(i)] = std::max(0, i - half);
+      plan->hi[static_cast<std::size_t>(i)] = std::min(n - 1, i + half);
+    }
+    {
+      std::unique_lock lock(mu_);
+      auto [it, inserted] = plans_.emplace(key, std::move(plan));
+      perf::count_cache(!inserted);
+      return it->second;
+    }
+  }
+
+  void clear() {
+    std::unique_lock lock(mu_);
+    plans_.clear();
+  }
+
+ private:
+  using Key = std::tuple<int, int, double>;
+  std::shared_mutex mu_;
+  std::map<Key, std::shared_ptr<const SmoothingPlan>> plans_;
+};
 
 // Constant-relative-bandwidth moving average (Konno–Ohmachi-like):
 // the half-width at bin i is max(bins/2, rel * i), truncated at the
@@ -17,20 +79,27 @@ namespace {
 // band energy across the low-frequency rolloff and erases the FSL
 // trough. Growing the width with frequency keeps the window narrow
 // where bins are few per octave and wide where fluctuation dominates.
+//
+// The averaging divides by the actual bin count (not a cached
+// reciprocal) so the output is bit-identical to the pre-cache code.
 std::vector<double> smooth(const std::vector<double>& x, int bins,
                            double rel) {
   const int n = static_cast<int>(x.size());
+  std::shared_ptr<const SmoothingPlan> plan;
+  {
+    perf::ScopedTimer setup(perf::ScopedTimer::kSetup);
+    plan = SmoothingPlanCache::instance().get(n, bins, rel);
+  }
+  perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
   std::vector<double> cum(static_cast<std::size_t>(n) + 1, 0.0);
   for (int i = 0; i < n; ++i) {
     cum[static_cast<std::size_t>(i) + 1] =
         cum[static_cast<std::size_t>(i)] + x[static_cast<std::size_t>(i)];
   }
-  const int base_half = bins / 2;
   std::vector<double> out(x.size());
   for (int i = 0; i < n; ++i) {
-    const int half = std::max(base_half, static_cast<int>(rel * i));
-    const int lo = std::max(0, i - half);
-    const int hi = std::min(n - 1, i + half);
+    const int lo = plan->lo[static_cast<std::size_t>(i)];
+    const int hi = plan->hi[static_cast<std::size_t>(i)];
     out[static_cast<std::size_t>(i)] =
         (cum[static_cast<std::size_t>(hi) + 1] -
          cum[static_cast<std::size_t>(lo)]) /
@@ -40,6 +109,8 @@ std::vector<double> smooth(const std::vector<double>& x, int bins,
 }
 
 }  // namespace
+
+void smoothing_plan_cache_clear() { SmoothingPlanCache::instance().clear(); }
 
 Result<Corners, SpectrumError> find_corners(const FourierSpectrum& spectrum,
                                             const CornerSearchConfig& cfg) {

@@ -43,4 +43,9 @@ struct Corners {
 Result<Corners, SpectrumError> find_corners(const FourierSpectrum& spectrum,
                                             const CornerSearchConfig& cfg = {});
 
+// Drops the cached smoothing-window extents (keyed by n_bins,
+// smoothing_bins, relative_bandwidth and shared across records);
+// cold-start hook for tests and microbenches.
+void smoothing_plan_cache_clear();
+
 }  // namespace acx::spectrum

@@ -1,62 +1,17 @@
 #include "spectrum/response.hpp"
 
 #include <cmath>
+#include <memory>
 #include <string>
+
+#include "spectrum/response_plan.hpp"
+#include "util/perf.hpp"
 
 namespace acx::spectrum {
 
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
-
-// Exact one-step propagator of x'' + 2*z*w*x' + w^2*x = -a(t) under
-// piecewise-linear a(t) over one interval of length dt (Nigam &
-// Jennings 1969). The recurrence
-//   x_{i+1} = a11*x_i + a12*v_i + b11*a_i + b12*a_{i+1}
-//   v_{i+1} = a21*x_i + a22*v_i + b21*a_i + b22*a_{i+1}
-// is assembled by propagating the four unit states through the
-// closed-form interval solution — algebraically identical to the
-// published coefficient formulas, without their error-prone 1/w^3
-// bookkeeping (docs/SPECTRUM.md derives both forms).
-struct NigamJennings {
-  double a11, a12, a21, a22;
-  double b11, b12, b21, b22;
-  double two_zw, w2;  // absolute acceleration = -(2*z*w*v + w^2*x)
-
-  NigamJennings(double w, double z, double dt) {
-    const double beta = z * w;        // decay rate
-    const double wd = w * std::sqrt(1.0 - z * z);  // damped frequency
-    const double e = std::exp(-beta * dt);
-    const double s = std::sin(wd * dt);
-    const double c = std::cos(wd * dt);
-    const double w3 = w * w * w;
-    w2 = w * w;
-    two_zw = 2.0 * beta;
-
-    // Closed-form state at t = dt for initial state (x0, v0) and
-    // forcing a(t) = a0 + m*t, m = (a1 - a0) / dt:
-    //   particular: xp(t) = -(a0 + m*t)/w^2 + 2*z*m/w^3, vp(t) = -m/w^2
-    //   homogeneous: e^{-beta t} (A cos wd t + B sin wd t),
-    //     A = x0 - xp(0),  B = (v0 - vp(0) + beta*A) / wd.
-    auto step = [&](double x0, double v0, double a0, double a1, double& x1,
-                    double& v1) {
-      const double m = (a1 - a0) / dt;
-      const double xp0 = -a0 / w2 + 2.0 * z * m / w3;
-      const double vp0 = -m / w2;
-      const double xpdt = -(a0 + m * dt) / w2 + 2.0 * z * m / w3;
-      const double a_h = x0 - xp0;
-      const double b_h = (v0 - vp0 + beta * a_h) / wd;
-      x1 = e * (a_h * c + b_h * s) + xpdt;
-      v1 = e * ((-beta * a_h + wd * b_h) * c - (wd * a_h + beta * b_h) * s) +
-           vp0;
-    };
-
-    step(1, 0, 0, 0, a11, a21);
-    step(0, 1, 0, 0, a12, a22);
-    step(0, 0, 1, 0, b11, b21);
-    step(0, 0, 0, 1, b12, b22);
-  }
-};
 
 }  // namespace
 
@@ -156,46 +111,27 @@ Result<Unit, SpectrumError> validate_grid(const ResponseGrid& grid) {
 Result<ResponseSpectrum, SpectrumError> response_spectrum(
     const std::vector<double>& acc, double dt, const ResponseGrid& grid,
     int threads) {
+  // Error precedence matches the pre-plan per-cell path: grid problems
+  // first, then the input, then dt.
   auto grid_ok = validate_grid(grid);
   if (!grid_ok.ok()) return grid_ok.error();
-
-  ResponseSpectrum out;
-  out.periods = grid.periods;
-  out.dampings = grid.dampings;
-  const std::size_t periods = grid.periods.size();
-  const std::size_t cells = periods * grid.dampings.size();
-  out.sd.resize(cells);
-  out.sv.resize(cells);
-  out.sa.resize(cells);
-
-  // The flattened (damping, period) grid loop. Each cell reads only the
-  // shared input and writes only its own three slots, so the OpenMP
-  // fan-out needs no synchronization on the happy path. Errors cannot
-  // early-return from inside the parallel region; instead the lowest
-  // failing linear index wins, which reproduces exactly the cell the
-  // serial loop would have reported first.
-  long long first_bad = -1;
-  SpectrumError bad_error{};
-#pragma omp parallel for schedule(static) num_threads(threads) \
-    if (threads > 1)
-  for (long long i = 0; i < static_cast<long long>(cells); ++i) {
-    const std::size_t d = static_cast<std::size_t>(i) / periods;
-    const std::size_t p = static_cast<std::size_t>(i) % periods;
-    auto cell = sdof_peak_response(acc, dt, grid.periods[p], grid.dampings[d]);
-    if (!cell.ok()) {
-#pragma omp critical(acx_response_first_error)
-      if (first_bad < 0 || i < first_bad) {
-        first_bad = i;
-        bad_error = cell.error();
-      }
-      continue;
-    }
-    out.sd[i] = cell.value().sd;
-    out.sv[i] = cell.value().sv;
-    out.sa[i] = cell.value().sa;
+  if (acc.empty()) {
+    return SpectrumError{SpectrumError::Code::kEmptyInput, "no samples"};
   }
-  if (first_bad >= 0) return bad_error;
-  return out;
+  if (acc.size() < 2) {
+    return SpectrumError{SpectrumError::Code::kTooShort,
+                         "the recurrence needs at least 2 samples"};
+  }
+
+  std::shared_ptr<const ResponsePlan> plan;
+  {
+    perf::ScopedTimer setup(perf::ScopedTimer::kSetup);
+    auto cached = ResponsePlanCache::instance().get(dt, grid);
+    if (!cached.ok()) return std::move(cached).take_error();
+    plan = std::move(cached).take();
+  }
+  perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
+  return response_spectrum(acc, *plan, threads);
 }
 
 }  // namespace acx::spectrum

@@ -1,0 +1,192 @@
+#include "spectrum/response_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <tuple>
+#include <utility>
+
+#include "util/perf.hpp"
+
+namespace acx::spectrum {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+Result<std::shared_ptr<const ResponsePlan>, SpectrumError> ResponsePlan::build(
+    double dt, const ResponseGrid& grid) {
+  if (!std::isfinite(dt) || dt <= 0) {
+    return SpectrumError{SpectrumError::Code::kBadSamplingInterval,
+                         "dt must be finite and positive"};
+  }
+  auto grid_ok = validate_grid(grid);
+  if (!grid_ok.ok()) return grid_ok.error();
+
+  auto plan = std::make_shared<ResponsePlan>();
+  plan->dt = dt;
+  plan->grid = grid;
+  const std::size_t periods = grid.periods.size();
+  plan->cells = periods * grid.dampings.size();
+  for (std::vector<double>* coeffs :
+       {&plan->a11, &plan->a12, &plan->a21, &plan->a22, &plan->b11, &plan->b12,
+        &plan->b21, &plan->b22, &plan->two_zw, &plan->w2}) {
+    coeffs->resize(plan->cells);
+  }
+  for (std::size_t i = 0; i < plan->cells; ++i) {
+    const std::size_t d = i / periods;
+    const std::size_t p = i % periods;
+    const double w = 2.0 * kPi / grid.periods[p];
+    const NigamJennings k(w, grid.dampings[d], dt);
+    plan->a11[i] = k.a11;
+    plan->a12[i] = k.a12;
+    plan->a21[i] = k.a21;
+    plan->a22[i] = k.a22;
+    plan->b11[i] = k.b11;
+    plan->b12[i] = k.b12;
+    plan->b21[i] = k.b21;
+    plan->b22[i] = k.b22;
+    plan->two_zw[i] = k.two_zw;
+    plan->w2[i] = k.w2;
+  }
+  return std::shared_ptr<const ResponsePlan>(std::move(plan));
+}
+
+void sdof_peak_response_batch(const double* acc, std::size_t n,
+                              const ResponsePlan& plan,
+                              std::size_t cell_begin, std::size_t cell_end,
+                              double* sd, double* sv, double* sa) {
+  for (std::size_t start = cell_begin; start < cell_end;
+       start += kSdofBatchBlock) {
+    const std::size_t b = std::min(kSdofBatchBlock, cell_end - start);
+    const double* a11 = plan.a11.data() + start;
+    const double* a12 = plan.a12.data() + start;
+    const double* a21 = plan.a21.data() + start;
+    const double* a22 = plan.a22.data() + start;
+    const double* b11 = plan.b11.data() + start;
+    const double* b12 = plan.b12.data() + start;
+    const double* b21 = plan.b21.data() + start;
+    const double* b22 = plan.b22.data() + start;
+    const double* two_zw = plan.two_zw.data() + start;
+    const double* w2 = plan.w2.data() + start;
+
+    double x[kSdofBatchBlock] = {};
+    double v[kSdofBatchBlock] = {};
+    double psd[kSdofBatchBlock] = {};
+    double psv[kSdofBatchBlock] = {};
+    double psa[kSdofBatchBlock] = {};
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double acc0 = acc[i];
+      const double acc1 = acc[i + 1];
+      for (std::size_t j = 0; j < b; ++j) {
+        const double x1 = a11[j] * x[j] + a12[j] * v[j] + b11[j] * acc0 +
+                          b12[j] * acc1;
+        const double v1 = a21[j] * x[j] + a22[j] * v[j] + b21[j] * acc0 +
+                          b22[j] * acc1;
+        x[j] = x1;
+        v[j] = v1;
+        const double abs_acc = std::fabs(two_zw[j] * v1 + w2[j] * x1);
+        if (std::fabs(x1) > psd[j]) psd[j] = std::fabs(x1);
+        if (std::fabs(v1) > psv[j]) psv[j] = std::fabs(v1);
+        if (abs_acc > psa[j]) psa[j] = abs_acc;
+      }
+    }
+    for (std::size_t j = 0; j < b; ++j) {
+      sd[start + j] = psd[j];
+      sv[start + j] = psv[j];
+      sa[start + j] = psa[j];
+    }
+  }
+}
+
+struct ResponsePlanCache::Impl {
+  using Key = std::tuple<double, std::vector<double>, std::vector<double>>;
+  std::shared_mutex mu;
+  std::map<Key, std::shared_ptr<const ResponsePlan>> plans;
+};
+
+ResponsePlanCache::ResponsePlanCache() : impl_(new Impl) {}
+ResponsePlanCache::~ResponsePlanCache() { delete impl_; }
+
+ResponsePlanCache& ResponsePlanCache::instance() {
+  static ResponsePlanCache cache;
+  return cache;
+}
+
+Result<std::shared_ptr<const ResponsePlan>, SpectrumError>
+ResponsePlanCache::get(double dt, const ResponseGrid& grid) {
+  Impl::Key key{dt, grid.periods, grid.dampings};
+  {
+    std::shared_lock lock(impl_->mu);
+    auto it = impl_->plans.find(key);
+    if (it != impl_->plans.end()) {
+      perf::count_cache(true);
+      return it->second;
+    }
+  }
+  // Build outside any lock; invalid inputs are reported, not cached.
+  auto built = ResponsePlan::build(dt, grid);
+  if (!built.ok()) return built;
+  {
+    std::unique_lock lock(impl_->mu);
+    auto [it, inserted] =
+        impl_->plans.emplace(std::move(key), std::move(built).take());
+    // A concurrent builder may have published first; either way the
+    // map's plan wins, and exactly one miss is recorded per key.
+    perf::count_cache(!inserted);
+    return it->second;
+  }
+}
+
+void ResponsePlanCache::clear() {
+  std::unique_lock lock(impl_->mu);
+  impl_->plans.clear();
+}
+
+Result<ResponseSpectrum, SpectrumError> response_spectrum(
+    const std::vector<double>& acc, const ResponsePlan& plan, int threads) {
+  if (acc.empty()) {
+    return SpectrumError{SpectrumError::Code::kEmptyInput, "no samples"};
+  }
+  if (acc.size() < 2) {
+    return SpectrumError{SpectrumError::Code::kTooShort,
+                         "the recurrence needs at least 2 samples"};
+  }
+
+  ResponseSpectrum out;
+  out.periods = plan.grid.periods;
+  out.dampings = plan.grid.dampings;
+  out.sd.resize(plan.cells);
+  out.sv.resize(plan.cells);
+  out.sa.resize(plan.cells);
+
+  // Blocks touch disjoint cell ranges and each block's result is
+  // independent of the team size, so schedule(static) keeps the output
+  // bit-identical for any thread count.
+  const long long blocks = static_cast<long long>(
+      (plan.cells + kSdofBatchBlock - 1) / kSdofBatchBlock);
+#pragma omp parallel for schedule(static) num_threads(threads) \
+    if (threads > 1)
+  for (long long blk = 0; blk < blocks; ++blk) {
+    const std::size_t begin = static_cast<std::size_t>(blk) * kSdofBatchBlock;
+    const std::size_t end = std::min(plan.cells, begin + kSdofBatchBlock);
+    sdof_peak_response_batch(acc.data(), acc.size(), plan, begin, end,
+                             out.sd.data(), out.sv.data(), out.sa.data());
+  }
+
+  for (std::size_t i = 0; i < plan.cells; ++i) {
+    if (!std::isfinite(out.sd[i]) || !std::isfinite(out.sv[i]) ||
+        !std::isfinite(out.sa[i])) {
+      return SpectrumError{SpectrumError::Code::kNonFinite,
+                           "oscillator response is not finite"};
+    }
+  }
+  return out;
+}
+
+}  // namespace acx::spectrum

@@ -116,6 +116,10 @@ bool FaultyFileSystem::exists(const stdfs::path& path) {
   return inner_.exists(path);
 }
 
+std::uintmax_t FaultyFileSystem::file_size(const stdfs::path& path) {
+  return inner_.file_size(path);
+}
+
 Result<Unit, IoError> flip_bytes(FileSystem& fs, const stdfs::path& path,
                                  int n_flips, std::uint64_t seed) {
   auto content = fs.read_file(path);

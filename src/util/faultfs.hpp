@@ -80,6 +80,7 @@ class FaultyFileSystem final : public FileSystem {
       const std::filesystem::path& dir) override;
   Result<Unit, IoError> remove_all(const std::filesystem::path& path) override;
   bool exists(const std::filesystem::path& path) override;
+  std::uintmax_t file_size(const std::filesystem::path& path) override;
 
   const FaultStats& stats() const { return stats_; }
 

@@ -135,6 +135,12 @@ bool RealFileSystem::exists(const stdfs::path& path) {
   return stdfs::exists(path, ec);
 }
 
+std::uintmax_t RealFileSystem::file_size(const stdfs::path& path) {
+  std::error_code ec;
+  const std::uintmax_t size = stdfs::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
 bool is_atomic_tmp_name(const stdfs::path& path) {
   const std::string name = path.filename().string();
   return name.rfind(kAtomicTmpPrefix, 0) == 0;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <string_view>
@@ -34,6 +35,10 @@ class FileSystem {
       const std::filesystem::path& dir) = 0;
   virtual Result<Unit, IoError> remove_all(const std::filesystem::path& path) = 0;
   virtual bool exists(const std::filesystem::path& path) = 0;
+  // Size in bytes, 0 when unknown. Advisory (the schedulers use it to
+  // order record fan-out longest-first), so like exists() it reports no
+  // error and is not a fault-injection point.
+  virtual std::uintmax_t file_size(const std::filesystem::path& path) = 0;
 };
 
 class RealFileSystem final : public FileSystem {
@@ -52,6 +57,7 @@ class RealFileSystem final : public FileSystem {
       const std::filesystem::path& dir) override;
   Result<Unit, IoError> remove_all(const std::filesystem::path& path) override;
   bool exists(const std::filesystem::path& path) override;
+  std::uintmax_t file_size(const std::filesystem::path& path) override;
 };
 
 // Prefix of every in-flight temporary; acx_validate audits the work tree

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <chrono>
+
+namespace acx::perf {
+
+// Thread-local profiling counters the kernel-plan caches and hot
+// kernels feed, and the pipeline executor drains.
+//
+// Attribution model: a record's stage always runs start-to-finish on
+// one thread (the schedulers hand out whole slots), so the executor
+// can snapshot this thread's counters before a stage, run it, and
+// charge the delta to that stage's report entry — no per-call stats
+// plumbing through the signal/spectrum APIs, and no shared counters
+// for tsan to find. The nested OpenMP team of the response kernel is
+// invisible here by design: plan lookups happen on the calling thread
+// before the parallel region, and kernel_seconds is the wall clock the
+// calling thread observed around it (the cost the record actually paid).
+struct Counters {
+  unsigned long long cache_hits = 0;    // plan served from a cache
+  unsigned long long cache_misses = 0;  // plan had to be built
+  double setup_seconds = 0;   // plan lookup/build time (amortizable)
+  double kernel_seconds = 0;  // time in the numeric kernels proper
+};
+
+inline Counters& local() {
+  thread_local Counters counters;
+  return counters;
+}
+
+inline void count_cache(bool hit) {
+  if (hit) {
+    ++local().cache_hits;
+  } else {
+    ++local().cache_misses;
+  }
+}
+
+// Scoped wall-clock accumulator into one of the two time buckets:
+//   { perf::ScopedTimer t(perf::ScopedTimer::kSetup); build_plan(); }
+class ScopedTimer {
+ public:
+  enum Bucket { kSetup, kKernel };
+
+  explicit ScopedTimer(Bucket bucket)
+      : bucket_(bucket), started_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - started_;
+    (bucket_ == kSetup ? local().setup_seconds : local().kernel_seconds) +=
+        elapsed.count();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Bucket bucket_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace acx::perf

@@ -180,12 +180,31 @@ TEST(Drivers, ReportRoundTripsWithDriverAndThreads) {
   EXPECT_NEAR(parsed.value().speedup_vs_sequential,
               run.value().speedup_vs_sequential, 1e-9);
 
+  // v5: the per-stage profiling survives the roundtrip, and the
+  // response stage shows plan-cache traffic (hit or miss, depending on
+  // what earlier tests left in the process-global caches).
+  const auto profile = parsed.value().stage_profile();
+  ASSERT_TRUE(profile.count("response"));
+  EXPECT_GE(profile.at("response").cache_hits +
+                profile.at("response").cache_misses,
+            2);  // one lookup per record
+  EXPECT_GE(profile.at("response").setup_seconds, 0.0);
+  EXPECT_GE(profile.at("response").kernel_seconds, 0.0);
+
   // The strict reader rejects a report claiming an unknown driver.
   std::string tampered = text.value();
   const auto pos = tampered.find("\"full\"");
   ASSERT_NE(pos, std::string::npos);
   tampered.replace(pos, 6, "\"warp\"");
   EXPECT_FALSE(RunReport::from_json_text(tampered).ok());
+
+  // ...and one with a negated profiling counter (whether it trips the
+  // negative-field check or the stage_profile cross-check).
+  std::string negated = text.value();
+  const auto hits_pos = negated.find("\"cache_hits\": ");
+  ASSERT_NE(hits_pos, std::string::npos);
+  negated.insert(hits_pos + std::string("\"cache_hits\": ").size(), "-1");
+  EXPECT_FALSE(RunReport::from_json_text(negated).ok());
 }
 
 TEST(Drivers, InjectedDirFaultsAreRetriedUnderTheFullDriver) {

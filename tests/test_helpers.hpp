@@ -31,4 +31,23 @@ class TempDir {
   std::filesystem::path path_;
 };
 
+// True when ThreadSanitizer instruments this build. GCC's libgomp
+// synchronizes its thread teams with bare futexes tsan cannot see, so
+// any multi-threaded OpenMP region reports false races under tsan.
+// Tests whose threading exists only to scale an OpenMP team (rather
+// than to exercise locking) clamp the team to one thread in that
+// configuration; the std::thread-based cache tests keep full
+// concurrency everywhere.
+#if defined(__SANITIZE_THREAD__)
+inline constexpr bool kTsanBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+inline constexpr bool kTsanBuild = true;
+#else
+inline constexpr bool kTsanBuild = false;
+#endif
+#else
+inline constexpr bool kTsanBuild = false;
+#endif
+
 }  // namespace acx::test

@@ -1,0 +1,289 @@
+// Concurrency and cold-vs-warm contract of the kernel-plan caches:
+// many threads hammering a cache with mixed keys must converge on one
+// shared immutable plan per key (the tsan leg of CI runs this file,
+// so the shared_mutex probe/build/publish pattern gets a race-detector
+// pass), and a run that hits the caches must produce byte-identical
+// outputs to a cold-started one — caching is an optimization, never an
+// observable behavior change.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "formats/v1.hpp"
+#include "pipeline/runner.hpp"
+#include "pipeline/validate.hpp"
+#include "signal/fft.hpp"
+#include "signal/fft_plan.hpp"
+#include "spectrum/corners.hpp"
+#include "spectrum/fourier.hpp"
+#include "spectrum/response.hpp"
+#include "spectrum/response_plan.hpp"
+#include "synth/synth.hpp"
+#include "test_helpers.hpp"
+#include "util/perf.hpp"
+
+namespace acx {
+namespace {
+
+void clear_plan_caches() {
+  signal::FftPlanCache::instance().clear();
+  spectrum::ResponsePlanCache::instance().clear();
+  spectrum::smoothing_plan_cache_clear();
+}
+
+TEST(PlanCaches, ResponsePlanCacheServesOneSharedPlanPerDtUnderContention) {
+  clear_plan_caches();
+  const spectrum::ResponseGrid grid = spectrum::paper_grid();
+  const std::vector<double> dts = {0.005, 0.01, 0.02};
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 40;
+  std::vector<std::map<double, std::set<const spectrum::ResponsePlan*>>> seen(
+      kThreads);
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const double dt = dts[static_cast<std::size_t>(t + i) % dts.size()];
+        auto plan = spectrum::ResponsePlanCache::instance().get(dt, grid);
+        ASSERT_TRUE(plan.ok());
+        ASSERT_EQ(plan.value()->dt, dt);
+        seen[t][dt].insert(plan.value().get());
+      }
+    });
+  }
+  for (auto& worker : team) worker.join();
+
+  // However the builds raced, every thread must have ended up sharing
+  // the single published plan for each dt.
+  for (const double dt : dts) {
+    std::set<const spectrum::ResponsePlan*> all;
+    for (const auto& per_thread : seen) {
+      const auto it = per_thread.find(dt);
+      ASSERT_NE(it, per_thread.end());
+      all.insert(it->second.begin(), it->second.end());
+    }
+    EXPECT_EQ(all.size(), 1u) << "dt=" << dt;
+  }
+}
+
+TEST(PlanCaches, FftPlanCacheServesOneSharedPlanPerLengthUnderContention) {
+  clear_plan_caches();
+  const std::vector<std::size_t> pow2_sizes = {256, 1024};
+  const std::vector<std::size_t> bluestein_sizes = {100, 730};
+  const std::vector<std::size_t> rfft_sizes = {512, 730};
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 40;
+  struct Seen {
+    std::map<std::size_t, std::set<const signal::Pow2Plan*>> pow2;
+    std::map<std::size_t, std::set<const signal::BluesteinPlan*>> bluestein;
+    std::map<std::size_t, std::set<const signal::RfftPlan*>> rfft;
+  };
+  std::vector<Seen> seen(kThreads);
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&, t] {
+      auto& cache = signal::FftPlanCache::instance();
+      for (int i = 0; i < kIterations; ++i) {
+        const std::size_t pick = static_cast<std::size_t>(t + i);
+        const std::size_t np = pow2_sizes[pick % pow2_sizes.size()];
+        const std::size_t nb = bluestein_sizes[pick % bluestein_sizes.size()];
+        const std::size_t nr = rfft_sizes[pick % rfft_sizes.size()];
+        seen[t].pow2[np].insert(cache.pow2(np).get());
+        seen[t].bluestein[nb].insert(cache.bluestein(nb).get());
+        seen[t].rfft[nr].insert(cache.rfft(nr).get());
+      }
+    });
+  }
+  for (auto& worker : team) worker.join();
+
+  auto assert_unique = [&](auto member, const std::vector<std::size_t>& ns) {
+    for (const std::size_t n : ns) {
+      std::set<const void*> all;
+      for (const auto& per_thread : seen) {
+        const auto& by_key = per_thread.*member;
+        const auto it = by_key.find(n);
+        ASSERT_NE(it, by_key.end());
+        for (const auto* plan : it->second) all.insert(plan);
+      }
+      EXPECT_EQ(all.size(), 1u) << "n=" << n;
+    }
+  };
+  assert_unique(&Seen::pow2, pow2_sizes);
+  assert_unique(&Seen::bluestein, bluestein_sizes);
+  assert_unique(&Seen::rfft, rfft_sizes);
+
+  // The rfft plans carry the right child: half of 512 is a power of
+  // two, half of 730 (365) needs the chirp-z path.
+  auto& cache = signal::FftPlanCache::instance();
+  EXPECT_NE(cache.rfft(512)->half_pow2, nullptr);
+  EXPECT_EQ(cache.rfft(512)->half_bluestein, nullptr);
+  EXPECT_EQ(cache.rfft(730)->half_pow2, nullptr);
+  EXPECT_NE(cache.rfft(730)->half_bluestein, nullptr);
+}
+
+TEST(PlanCaches, SmoothingWeightCacheCountsOneMissPerShape) {
+  clear_plan_caches();
+  spectrum::FourierSpectrum spec;
+  spec.dt = 0.005;
+  spec.nfft = 2048;
+  spec.df = 1.0 / (spec.dt * static_cast<double>(spec.nfft));
+  spec.amplitude.assign(spec.nfft / 2 + 1, 0.0);
+  for (std::size_t k = 0; k < spec.amplitude.size(); ++k) {
+    const double f = spec.frequency_at(k);
+    spec.amplitude[k] = (f > 1.0 && f < 20.0) ? 1.0 : 0.01;
+  }
+
+  const perf::Counters before = perf::local();
+  auto first = spectrum::find_corners(spec);
+  auto second = spectrum::find_corners(spec);
+  const perf::Counters after = perf::local();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  // Same spectrum shape twice: the second search reuses the first's
+  // smoothing-window extents.
+  EXPECT_EQ(after.cache_misses - before.cache_misses, 1u);
+  EXPECT_GE(after.cache_hits - before.cache_hits, 1u);
+  EXPECT_GT(after.setup_seconds, before.setup_seconds);
+  EXPECT_GT(after.kernel_seconds, before.kernel_seconds);
+}
+
+TEST(PlanCaches, ColdAndWarmPlansProduceBitIdenticalResults) {
+  std::vector<double> acc(4096);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const double t = static_cast<double>(i);
+    acc[i] = std::sin(0.07 * t) + 0.4 * std::sin(0.23 * t + 1.0);
+  }
+  const spectrum::ResponseGrid grid = spectrum::paper_grid();
+
+  clear_plan_caches();
+  auto cold_rs = spectrum::response_spectrum(acc, 0.005, grid);
+  auto cold_spec = signal::rfft(acc);
+  ASSERT_TRUE(cold_rs.ok());
+  ASSERT_TRUE(cold_spec.ok());
+
+  // Same calls again, now served from the caches — and the spectrum
+  // additionally across thread counts (cells are blocked statically,
+  // so the team size cannot change any bit).
+  for (int threads : {1, test::kTsanBuild ? 1 : 4}) {
+    auto warm_rs = spectrum::response_spectrum(acc, 0.005, grid, threads);
+    ASSERT_TRUE(warm_rs.ok());
+    EXPECT_EQ(cold_rs.value().sd, warm_rs.value().sd) << threads;
+    EXPECT_EQ(cold_rs.value().sv, warm_rs.value().sv) << threads;
+    EXPECT_EQ(cold_rs.value().sa, warm_rs.value().sa) << threads;
+  }
+  auto warm_spec = signal::rfft(acc);
+  ASSERT_TRUE(warm_spec.ok());
+  EXPECT_EQ(cold_spec.value(), warm_spec.value());
+}
+
+// Two events in one input directory with different sampling intervals:
+// the full driver's worker threads race records with different plan
+// keys through every cache at once. Station names are prefixed so the
+// two events' record ids (and output files) stay distinct.
+std::vector<std::string> build_mixed_dt_inputs(
+    FileSystem& fs, const std::filesystem::path& dir) {
+  synth::SynthConfig scfg;
+  scfg.scale = 0.02;
+  synth::EventSpec a = synth::paper_events()[0];  // 5 files at dt = 0.005
+  synth::EventSpec b = synth::paper_events()[1];  // 5 files at dt = 0.01
+  b.dt = 0.01;
+
+  std::vector<std::string> ids;
+  auto written = synth::build_event_dataset(fs, dir, a, scfg);
+  EXPECT_TRUE(written.ok());
+  for (const auto& name : written.value()) {
+    ids.push_back(std::filesystem::path(name).stem().string());
+  }
+  for (int i = 0; i < b.n_files; ++i) {
+    formats::Record rec = synth::make_record(b, scfg, i);
+    rec.header.station = "Z" + rec.header.station;
+    const std::string name =
+        rec.header.id() + std::string(formats::kV1Extension);
+    EXPECT_TRUE(fs.write_file(dir / name, formats::write_v1(rec)).ok());
+    ids.push_back(rec.header.id());
+  }
+  return ids;
+}
+
+TEST(PlanCaches, FullDriverMixedDtRunIsColdWarmByteIdentical) {
+  test::TempDir tmp("perfcache");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto ids = build_mixed_dt_inputs(fs, input);
+  ASSERT_EQ(ids.size(), 10u);
+
+  auto run_full = [&](int threads, const char* tag) {
+    const auto work = tmp.path() / tag;
+    pipeline::RunnerConfig cfg;
+    cfg.sleep = [](int) {};
+    cfg.driver = pipeline::Driver::kFullParallel;
+    cfg.threads = threads;
+    auto run = pipeline::run_pipeline(fs, input, work, cfg);
+    EXPECT_TRUE(run.ok());
+    const pipeline::ValidationSummary audit =
+        pipeline::validate_workdir(fs, work);
+    EXPECT_TRUE(audit.clean()) << audit.issues.front().kind << ": "
+                               << audit.issues.front().detail;
+    return run.value();
+  };
+
+  // Under tsan the OpenMP team is clamped to one thread (uninstrumented
+  // libgomp barriers false-positive; see test_helpers.hpp) — the
+  // std::thread hammer tests above carry the tsan coverage of the
+  // cache locking itself.
+  clear_plan_caches();
+  const pipeline::RunReport cold = run_full(test::kTsanBuild ? 1 : 8,
+                                            "work-cold");
+  const pipeline::RunReport warm = run_full(test::kTsanBuild ? 1 : 3,
+                                            "work-warm");
+
+  // The cold run built exactly one response plan per distinct dt and
+  // served the other eight records from the cache; the warm run never
+  // missed anywhere.
+  const auto cold_profile = cold.stage_profile();
+  ASSERT_TRUE(cold_profile.count("response"));
+  EXPECT_EQ(cold_profile.at("response").cache_misses, 2);
+  EXPECT_EQ(cold_profile.at("response").cache_hits, 8);
+  long long cold_misses = 0, warm_misses = 0, warm_hits = 0;
+  for (const auto& [stage, p] : cold_profile) cold_misses += p.cache_misses;
+  for (const auto& [stage, p] : warm.stage_profile()) {
+    warm_misses += p.cache_misses;
+    warm_hits += p.cache_hits;
+  }
+  EXPECT_GT(cold_misses, 2);  // the FFT caches missed too
+  EXPECT_EQ(warm_misses, 0);
+  EXPECT_GT(warm_hits, 0);
+
+  // Cache state and thread count are invisible in the canonical report
+  // and in every output byte.
+  EXPECT_EQ(cold.canonical_dump(), warm.canonical_dump());
+  ASSERT_EQ(cold.records.size(), warm.records.size());
+  for (std::size_t i = 0; i < cold.records.size(); ++i) {
+    const pipeline::RecordOutcome& a = cold.records[i];
+    const pipeline::RecordOutcome& b = warm.records[i];
+    ASSERT_EQ(a.record, b.record);
+    ASSERT_EQ(a.status, pipeline::RecordOutcome::Status::kOk) << a.record;
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (std::size_t o = 0; o < a.outputs.size(); ++o) {
+      auto left = fs.read_file(a.outputs[o]);
+      auto right = fs.read_file(b.outputs[o]);
+      ASSERT_TRUE(left.ok() && right.ok());
+      EXPECT_EQ(left.value(), right.value()) << b.outputs[o];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acx

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <vector>
@@ -107,6 +108,36 @@ TEST(Fft, RfftMatchesFullSpectrumPrefix) {
   ASSERT_EQ(half.value().size(), x.size() / 2 + 1);
   for (std::size_t k = 0; k < half.value().size(); ++k) {
     EXPECT_NEAR(std::abs(half.value()[k] - full.value()[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RealFftMatchesComplexReferenceAtMachinePrecision) {
+  // The even-length rfft runs one half-size complex transform and
+  // untangles; the reference promotes to complex and transforms at
+  // full length. Different algorithms, same DFT: every bin must agree
+  // to ~1e-15 relative to the spectrum's scale. Lengths cover the
+  // power-of-two path (64), an even length with a Bluestein half (90,
+  // half 45), an even length with a power-of-two half (96, half 48),
+  // and odd (45, which falls back to the complex promotion exactly).
+  for (std::size_t n : {std::size_t{64}, std::size_t{90}, std::size_t{96},
+                        std::size_t{45}, std::size_t{730}}) {
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i);
+      x[i] = std::sin(0.13 * t) + 0.7 * std::cos(0.05 * t + 0.4) + 0.01 * t;
+    }
+    auto full = fft(to_complex(x));
+    auto half = rfft(x);
+    ASSERT_TRUE(full.ok()) << n;
+    ASSERT_TRUE(half.ok()) << n;
+    ASSERT_EQ(half.value().size(), n / 2 + 1) << n;
+    double scale = 0.0;
+    for (const Complex& c : full.value()) scale = std::max(scale, std::abs(c));
+    for (std::size_t k = 0; k < half.value().size(); ++k) {
+      EXPECT_LE(std::abs(half.value()[k] - full.value()[k]),
+                1e-15 * static_cast<double>(n) * scale)
+          << "n=" << n << " k=" << k;
+    }
   }
 }
 

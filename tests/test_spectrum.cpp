@@ -8,6 +8,8 @@
 #include "spectrum/corners.hpp"
 #include "spectrum/fourier.hpp"
 #include "spectrum/response.hpp"
+#include "spectrum/response_plan.hpp"
+#include "test_helpers.hpp"
 
 namespace acx::spectrum {
 namespace {
@@ -138,6 +140,76 @@ TEST(ResponseSpectrum, GridCellsMatchTheSingleOscillatorKernel) {
       EXPECT_DOUBLE_EQ(rs.sv[i], cell.value().sv);
       EXPECT_DOUBLE_EQ(rs.sa[i], cell.value().sa);
     }
+  }
+}
+
+TEST(ResponseSpectrum, BatchKernelIsBitIdenticalToTheScalarRecurrence) {
+  // The whole paper grid (3000 cells, 93 full blocks plus a 24-cell
+  // tail) against one scalar kernel call per cell: bit-identical, not
+  // merely close — the batch kernel's contract is exact equality.
+  std::vector<double> acc(600);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = std::sin(0.09 * static_cast<double>(i)) +
+             0.3 * std::cos(0.017 * static_cast<double>(i));
+  }
+  const ResponseGrid grid = paper_grid();
+  auto plan = ResponsePlan::build(0.01, grid);
+  ASSERT_TRUE(plan.ok());
+  const std::size_t cells = plan.value()->cells;
+  ASSERT_EQ(cells, 3000u);
+
+  std::vector<double> sd(cells), sv(cells), sa(cells);
+  sdof_peak_response_batch(acc.data(), acc.size(), *plan.value(), 0, cells,
+                           sd.data(), sv.data(), sa.data());
+  for (std::size_t d = 0; d < grid.dampings.size(); ++d) {
+    for (std::size_t p = 0; p < grid.periods.size(); ++p) {
+      auto cell = sdof_peak_response(acc, 0.01, grid.periods[p],
+                                     grid.dampings[d]);
+      ASSERT_TRUE(cell.ok());
+      const std::size_t i = d * grid.periods.size() + p;
+      EXPECT_EQ(sd[i], cell.value().sd) << i;
+      EXPECT_EQ(sv[i], cell.value().sv) << i;
+      EXPECT_EQ(sa[i], cell.value().sa) << i;
+    }
+  }
+
+  // A block-misaligned sub-range writes the same peaks at the same
+  // absolute indices and touches nothing outside it.
+  std::vector<double> psd(cells, -1.0), psv(cells, -1.0), psa(cells, -1.0);
+  sdof_peak_response_batch(acc.data(), acc.size(), *plan.value(), 17, 103,
+                           psd.data(), psv.data(), psa.data());
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (i >= 17 && i < 103) {
+      EXPECT_EQ(psd[i], sd[i]) << i;
+      EXPECT_EQ(psv[i], sv[i]) << i;
+      EXPECT_EQ(psa[i], sa[i]) << i;
+    } else {
+      EXPECT_EQ(psd[i], -1.0) << i;
+    }
+  }
+}
+
+TEST(ResponseSpectrum, PlanOverloadIsBitIdenticalForAnyThreadCount) {
+  std::vector<double> acc(512);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = std::cos(0.21 * static_cast<double>(i));
+  }
+  auto plan = ResponsePlan::build(0.005, paper_grid());
+  ASSERT_TRUE(plan.ok());
+
+  auto serial = response_spectrum(acc, *plan.value(), 1);
+  ASSERT_TRUE(serial.ok());
+  auto via_dt = response_spectrum(acc, 0.005, paper_grid());
+  ASSERT_TRUE(via_dt.ok());
+  EXPECT_EQ(serial.value().sd, via_dt.value().sd);
+  const std::vector<int> teams =
+      test::kTsanBuild ? std::vector<int>{1} : std::vector<int>{2, 5, 8};
+  for (int threads : teams) {
+    auto teamed = response_spectrum(acc, *plan.value(), threads);
+    ASSERT_TRUE(teamed.ok()) << threads;
+    EXPECT_EQ(serial.value().sd, teamed.value().sd) << threads;
+    EXPECT_EQ(serial.value().sv, teamed.value().sv) << threads;
+    EXPECT_EQ(serial.value().sa, teamed.value().sa) << threads;
   }
 }
 

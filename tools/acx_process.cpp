@@ -132,6 +132,22 @@ int main(int argc, char** argv) {
     std::printf("  speedup vs sequential baseline: %.2fx\n",
                 report.speedup_vs_sequential);
   }
+  {
+    long long hits = 0, misses = 0;
+    double setup = 0, kernel = 0;
+    for (const auto& [stage, p] : report.stage_profile()) {
+      hits += p.cache_hits;
+      misses += p.cache_misses;
+      setup += p.setup_seconds;
+      kernel += p.kernel_seconds;
+    }
+    if (hits + misses > 0) {
+      std::printf(
+          "  plan caches: %lld hits / %lld misses, %.3fs setup, "
+          "%.3fs kernel\n",
+          hits, misses, setup, kernel);
+    }
+  }
   for (const auto& r : report.records) {
     if (r.status == acx::pipeline::RecordOutcome::Status::kQuarantined) {
       std::printf("  quarantined %-8s %s\n", r.record.c_str(),
