@@ -43,10 +43,22 @@ done
 for key in version total_seconds stage_totals stage_shares stage_profile \
            counts records seconds outputs driver threads \
            speedup_vs_sequential cache_hits cache_misses setup_seconds \
-           kernel_seconds; do
+           kernel_seconds status degraded shed points deadline breaker; do
   if ! grep -q "\"$key\"" src/pipeline/report.cpp; then
     echo "docs-rot: docs/PIPELINE.md documents run-report key '$key'" \
          "but src/pipeline/report.cpp no longer emits it" >&2
+    fail=1
+  fi
+done
+
+# 3c. The batch-report keys documented in docs/BATCH.md must still be
+#     emitted by the batch writer.
+for key in version input_root work_root event_workers priority \
+           records_per_second points_per_second breaker counts events \
+           resumed; do
+  if ! grep -q "\"$key\"" src/pipeline/batch.cpp; then
+    echo "docs-rot: docs/BATCH.md documents batch-report key '$key'" \
+         "but src/pipeline/batch.cpp no longer emits it" >&2
     fail=1
   fi
 done
@@ -87,6 +99,21 @@ while IFS= read -r slug; do
     fail=1
   fi
 done < <(grep -oE '\bspectrum\.[a-z_]+\b' docs/SPECTRUM.md | sort -u)
+
+# 6. Every storage.*/batch.* reason slug named in the docs must be in
+#    the registry, so acx_validate keeps accepting what the docs
+#    promise (and vice versa: a slug dropped from the registry rots
+#    here instead of silently failing validation).
+while IFS= read -r slug; do
+  [ -z "$slug" ] && continue
+  # File references like batch.cpp / batch.hpp are paths, not slugs.
+  case "$slug" in *.cpp|*.hpp|*.json|*.md|*.py|*.sh) continue ;; esac
+  if ! grep -q "\"$slug\"" src/pipeline/reasons.hpp; then
+    echo "docs-rot: docs name reason '$slug' but" \
+         "src/pipeline/reasons.hpp does not register it" >&2
+    fail=1
+  fi
+done < <(grep -ohE '\b(storage|batch)\.[a-z_]+\b' docs/*.md | sort -u)
 
 if [ "$fail" -ne 0 ]; then
   echo "docs-rot check FAILED" >&2

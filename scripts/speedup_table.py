@@ -19,7 +19,7 @@ record sets, zero-time baseline).
 import json
 import sys
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 def load_report(path):

@@ -5,6 +5,8 @@
 #include <string_view>
 
 #include "pipeline/stage.hpp"
+#include "util/breaker.hpp"
+#include "util/clock.hpp"
 #include "util/retry.hpp"
 
 namespace acx::pipeline {
@@ -73,6 +75,10 @@ struct StageFault {
   std::string stage;
   int kill_on_invocation = 0;  // 1-based; 0 disables
   bool transient = false;
+  // Kill the whole process (std::_Exit) instead of failing the stage —
+  // models power loss / OOM-kill mid-batch. The checkpoint/resume tests
+  // spawn acx_batch with this armed, then resume the survivor.
+  bool kill_process = false;
 };
 
 struct RunnerConfig {
@@ -87,6 +93,19 @@ struct RunnerConfig {
   RetryPolicy retry;
   // Backoff sleep; defaults to a real sleep, tests inject a no-op.
   SleepFn sleep;
+  // Per-event wall-clock budget (util/clock.hpp). Soft expiry sheds the
+  // graph's sheddable stages (record published as degraded); hard
+  // expiry quarantines unfinished records as batch.deadline_hard and
+  // finalizes the event with whatever completed. Retries never start a
+  // backoff sleep that would overrun the remaining hard budget.
+  DeadlineConfig deadline;
+  // Monotonic clock for the deadline tracker; defaults to the steady
+  // clock, tests inject a manual one.
+  NowFn now;
+  // Observed (never driven) by the runner: when the filesystem stack
+  // includes a BreakerFileSystem, point this at its breaker and the run
+  // report's v6 breaker block carries the counter deltas of this run.
+  const storage::CircuitBreaker* breaker = nullptr;
   StageFault stage_fault;
   // Fallback band corners / FIR length / gain of the V2 correction chain.
   CorrectionConfig correction;

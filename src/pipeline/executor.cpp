@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "util/perf.hpp"
+#include "util/rng.hpp"
 
 namespace acx::pipeline {
 
@@ -12,7 +14,16 @@ namespace stdfs = std::filesystem;
 namespace {
 
 StageError from_io(const IoError& e) {
-  return StageError{e.klass, std::string("io.") + slug(e.code), e.to_string()};
+  // reason_slug keeps the family split: breaker rejections surface as
+  // storage.circuit_open, everything else as io.<code>.
+  return StageError{e.klass, reason_slug(e), e.to_string()};
+}
+
+// Failures the storage layer (filesystem, latency shim, breaker) caused,
+// as opposed to the record's own data being bad. Only these are
+// forgivable on sheddable stages — numerical poison still quarantines.
+bool is_storage_reason(const std::string& reason) {
+  return reason.rfind("io.", 0) == 0 || reason.rfind("storage.", 0) == 0;
 }
 
 }  // namespace
@@ -52,6 +63,10 @@ Result<Unit, StageError> RecordExecutor::run_stage_once(Stage& stage,
   const StageFault& f = cfg_.stage_fault;
   if (!f.stage.empty() && f.stage == stage.name() &&
       invocation == f.kill_on_invocation) {
+    // Whole-process death (power loss / OOM-kill model): no destructors,
+    // no report — exactly the mid-batch crash the resume path recovers
+    // from. 137 mirrors a SIGKILLed exit status.
+    if (f.kill_process) std::_Exit(137);
     return StageError{
         f.transient ? ErrorClass::kTransient : ErrorClass::kPoison,
         std::string("stage_crash.") + stage.name(),
@@ -69,9 +84,20 @@ bool RecordExecutor::run_step(
   // cache traffic and setup/kernel time this stage incurred.
   const perf::Counters before = perf::local();
   const auto started = std::chrono::steady_clock::now();
+  // Jitter salt: stable per (record, stage) regardless of scheduling, so
+  // a fixed jitter_seed reproduces every sleep while concurrent records
+  // retrying the same stage stay decorrelated.
+  const std::uint64_t salt = fnv1a64(outcome.record) ^ fnv1a64(name);
+  RetryBudgetFn budget;
+  if (deadline_ && deadline_->config().hard_seconds > 0) {
+    budget = [this](int backoff_ms) {
+      return backoff_ms < deadline_->remaining_hard_ms();
+    };
+  }
   auto r = run_with_retry<Unit, StageError>(
       cfg_.retry, cfg_.sleep,
-      [](const StageError& e) { return e.klass; }, fn, &attempts);
+      [](const StageError& e) { return e.klass; }, fn, &attempts, salt,
+      budget);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - started;
   const perf::Counters after = perf::local();
@@ -108,10 +134,57 @@ void RecordExecutor::setup_scratch(RecordSlot& slot) {
   if (!ok) slot.failed = true;
 }
 
+void RecordExecutor::shed_stage(RecordSlot& slot, const PlannedStage& ps,
+                                std::string reason) {
+  slot.outcome.degraded = true;
+  slot.outcome.shed.push_back({ps.node->name, std::move(reason)});
+  // Scrub anything the stage may have partially published into out/, so
+  // the report's outputs array (and the validator's inventory) only see
+  // what actually survived.
+  stdfs::path* out = nullptr;
+  if (ps.node->name == "fourier") out = &slot.ctx.fourier_path;
+  if (ps.node->name == "response") out = &slot.ctx.response_path;
+  if (out && !out->empty()) {
+    (void)fs_.remove_all(*out);
+    out->clear();
+  }
+}
+
 void RecordExecutor::run_stage(RecordSlot& slot, const PlannedStage& ps) {
   if (slot.failed) return;
+  // Hard deadline: no further work on any stage. The record quarantines
+  // as batch.deadline_hard; the event finalizes with what completed.
+  if (deadline_ && deadline_->hard_expired()) {
+    StageAttempt attempt;
+    attempt.stage = ps.node->name;
+    attempt.attempts = 0;
+    attempt.ok = false;
+    attempt.error = "batch.deadline_hard";
+    slot.outcome.stages.push_back(std::move(attempt));
+    slot.failure = StageError{ErrorClass::kPoison, "batch.deadline_hard",
+                              "hard deadline expired before stage '" +
+                                  ps.node->name + "'"};
+    slot.failed = true;
+    return;
+  }
+  // Soft deadline: skip the non-essential enrichments outright; the
+  // record publishes as degraded instead of blowing the budget.
+  if (ps.node->sheddable && deadline_ && deadline_->soft_expired()) {
+    shed_stage(slot, ps, "batch.deadline_soft");
+    return;
+  }
   if (!run_step(ps.node->name, slot.outcome, slot.failure,
                 [&] { return run_stage_once(*ps.stage, slot.ctx); })) {
+    // A sheddable stage lost to the storage layer (flaky backend, open
+    // breaker) is forgiven: shed it and keep the record alive. Its own
+    // data being bad (numerical poison) still quarantines.
+    if (ps.node->sheddable && is_storage_reason(slot.failure.reason)) {
+      shed_stage(slot, ps,
+                 slot.failure.klass == ErrorClass::kPoison
+                     ? slot.failure.reason
+                     : "transient_exhausted." + slot.failure.reason);
+      return;
+    }
     slot.failed = true;
   }
 }
@@ -144,6 +217,8 @@ void RecordExecutor::finalize(RecordSlot& slot, const stdfs::path& work_dir) {
   if (!slot.failed) {
     slot.outcome.status = RecordOutcome::Status::kOk;
     slot.outcome.output = slot.ctx.output_path.string();
+    slot.outcome.points =
+        static_cast<long long>(slot.ctx.record.samples.size());
     for (const stdfs::path* p : {&slot.ctx.output_path, &slot.ctx.fourier_path,
                                  &slot.ctx.response_path}) {
       if (!p->empty()) slot.outcome.outputs.push_back(p->string());

@@ -39,14 +39,20 @@ struct PlannedStage {
 };
 
 // The per-record execution machinery every scheduler shares: stage
-// instantiation from the graph plan, retry with capped backoff,
-// deterministic fault injection, quarantine, and output publication.
+// instantiation from the graph plan, retry with capped backoff and
+// seeded jitter, deterministic fault injection, deadline-pressure
+// shedding, quarantine, and output publication.
 // Thread-safety: the only cross-record state is the fault-injection
 // invocation counter, which is taken under a lock, so any number of
-// threads may drive disjoint slots concurrently.
+// threads may drive disjoint slots concurrently. The deadline tracker
+// is started before any worker runs and read-only afterwards.
 class RecordExecutor {
  public:
   RecordExecutor(FileSystem& fs, const RunnerConfig& cfg);
+
+  // Arms the per-event deadline budget; the tracker must outlive the
+  // run and already be start()ed. Null (the default) = unbounded.
+  void set_deadline(const DeadlineTracker* deadline) { deadline_ = deadline; }
 
   // Instantiates one Stage per surviving graph node, in plan order.
   void instantiate(const StageGraph& graph, bool prune_redundant);
@@ -78,11 +84,17 @@ class RecordExecutor {
   bool run_step(const std::string& name, RecordOutcome& outcome,
                 StageError& failure,
                 const std::function<Result<Unit, StageError>()>& fn);
+  // Marks a sheddable stage as skipped/forgiven: records the shed entry
+  // with its registered reason, flags the record degraded, and scrubs
+  // any output the stage may have partially published.
+  void shed_stage(RecordSlot& slot, const PlannedStage& ps,
+                  std::string reason);
   void quarantine_record(const std::filesystem::path& quarantine_dir,
                          RecordSlot& slot);
 
   FileSystem& fs_;
   const RunnerConfig& cfg_;
+  const DeadlineTracker* deadline_ = nullptr;
   std::vector<PlannedStage> plan_;
   std::mutex invocations_mu_;  // guards the fault-injection counters
   std::map<std::string, int> invocations_;

@@ -53,27 +53,32 @@ StageGraph StageGraph::standard(const CorrectionConfig& correction,
     };
   };
   StageGraph g;
-  g.add({"stage_in", {}, false, true, mk("stage_in")});
-  g.add({"parse", {"stage_in"}, false, true, mk("parse")});
+  g.add({"stage_in", {}, false, true, false, mk("stage_in")});
+  g.add({"parse", {"stage_in"}, false, true, false, mk("parse")});
   // P#6 analogue: the original pipeline re-validated its input list
   // after staging; the result duplicates what parse already proved.
-  g.add({"reparse", {"parse"}, true, false, mk("reparse")});
-  g.add({"calibrate", {"parse"}, false, true, mk("calibrate")});
-  g.add({"demean", {"calibrate"}, false, true, mk("demean")});
-  g.add({"corners", {"demean"}, false, true, mk("corners")});
+  g.add({"reparse", {"parse"}, true, false, false, mk("reparse")});
+  g.add({"calibrate", {"parse"}, false, true, false, mk("calibrate")});
+  g.add({"demean", {"calibrate"}, false, true, false, mk("demean")});
+  g.add({"corners", {"demean"}, false, true, false, mk("corners")});
   // P#12 analogue: a second FAS of the demeaned record, written as a
-  // scratch preview artifact nothing downstream reads.
-  g.add({"fas_preview", {"demean"}, true, false, mk("fas_preview")});
-  g.add({"bandpass", {"corners"}, false, true, mk("bandpass")});
-  g.add({"detrend", {"bandpass"}, false, true, mk("detrend")});
-  g.add({"integrate", {"detrend"}, false, true, mk("integrate")});
-  g.add({"peaks", {"integrate"}, false, true, mk("peaks")});
+  // scratch preview artifact nothing downstream reads. Sheddable: it is
+  // pure preview, so deadline pressure drops it first.
+  g.add({"fas_preview", {"demean"}, true, false, true, mk("fas_preview")});
+  g.add({"bandpass", {"corners"}, false, true, false, mk("bandpass")});
+  g.add({"detrend", {"bandpass"}, false, true, false, mk("detrend")});
+  g.add({"integrate", {"detrend"}, false, true, false, mk("integrate")});
+  g.add({"peaks", {"integrate"}, false, true, false, mk("peaks")});
   // P#14 analogue: the original pipeline re-extracted the max values it
   // had already extracted.
-  g.add({"repeaks", {"peaks"}, true, false, mk("repeaks")});
-  g.add({"fourier", {"detrend"}, false, true, mk("fourier")});
-  g.add({"response", {"detrend"}, false, true, mk("response")});
-  g.add({"write_v2", {"peaks", "fourier", "response"}, false, true,
+  g.add({"repeaks", {"peaks"}, true, false, false, mk("repeaks")});
+  // The spectral products are enrichments of the corrected record: a
+  // record that loses them under deadline or storage-breaker pressure
+  // is still publishable (as degraded), so both are sheddable. The V2
+  // chain through write_v2 is essential and never sheds.
+  g.add({"fourier", {"detrend"}, false, true, true, mk("fourier")});
+  g.add({"response", {"detrend"}, false, true, true, mk("response")});
+  g.add({"write_v2", {"peaks", "fourier", "response"}, false, true, false,
          mk("write_v2")});
   return g;
 }

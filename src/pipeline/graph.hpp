@@ -25,11 +25,18 @@ namespace acx::pipeline {
 //                   across records. Every per-record stage of the
 //                   current chain qualifies; a future cross-record
 //                   stage (event-level catalog, shared plot) would not.
+//   sheddable     — the stage's output is a non-essential enrichment
+//                   (spectra previews/products): under deadline or
+//                   storage-breaker pressure the executor may skip or
+//                   forgive it, publishing the record as *degraded*
+//                   instead of quarantining it. The essential chain
+//                   (parse -> ... -> write_v2) is never sheddable.
 struct StageNode {
   std::string name;
   std::vector<std::string> deps;
   bool redundant = false;
   bool parallel_safe = false;
+  bool sheddable = false;
   // Factory for the node's Stage instance. Instances must be
   // re-entrant: the schedulers share one instance per node across all
   // records (and, under the parallel drivers, across threads).

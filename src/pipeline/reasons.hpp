@@ -8,10 +8,14 @@
 //   signal.<slug>       — signal::SignalError      (numerical kernels)
 //   spectrum.<slug>     — spectrum::SpectrumError  (spectral kernels)
 //   io.<slug>           — IoError                  (filesystem layer)
+//   storage.<slug>      — storage backend layer (circuit breaker)
+//   batch.<slug>        — batch-runner deadline budgets
 //   stage_crash.<stage> — injected/observed crash of a named stage
 // The slug lists are generated from the enums via each family's slug()
 // function, so a new error code is registered the moment it exists;
 // tests/test_reasons.cpp pins the stage list to the actual chain.
+// storage.* and batch.* appear both as quarantine reasons and as the
+// degrade reasons of a record's shed (non-essential) stages.
 
 #include <string>
 #include <string_view>
@@ -70,6 +74,15 @@ inline const std::vector<std::string>& registered_reasons() {
                  IC::kInjectedRemoveFault, IC::kGraphInvalid}) {
       out.push_back(std::string("io.") + slug(c));
     }
+    // Storage-backend layer: the circuit breaker shedding load
+    // (IoError::Code::kCircuitOpen reports under the storage family —
+    // see reason_slug() in util/error.hpp).
+    out.push_back("storage.circuit_open");
+    // Batch-runner deadline budgets: soft expiry sheds non-essential
+    // stages (a degrade reason), hard expiry stops the record where it
+    // stands (a quarantine reason).
+    out.push_back("batch.deadline_soft");
+    out.push_back("batch.deadline_hard");
     for (const char* stage : kStageNames) {
       out.push_back(std::string("stage_crash.") + stage);
     }

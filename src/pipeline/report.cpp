@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 
 #include "pipeline/config.hpp"
+#include "pipeline/reasons.hpp"
 
 namespace acx::pipeline {
 
@@ -15,8 +17,61 @@ int RunReport::count_ok() const {
   return n;
 }
 
+int RunReport::count_degraded() const {
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.status == RecordOutcome::Status::kOk && r.degraded) ++n;
+  }
+  return n;
+}
+
 int RunReport::count_quarantined() const {
   return static_cast<int>(records.size()) - count_ok();
+}
+
+long long RunReport::total_points() const {
+  long long n = 0;
+  for (const auto& r : records) n += r.points;
+  return n;
+}
+
+const char* RunReport::status() const {
+  if (!records.empty() && count_ok() == 0) return "quarantined";
+  return count_degraded() > 0 ? "degraded" : "ok";
+}
+
+namespace {
+
+// Strip the retry wrapper so reason comparisons see the family slug.
+std::string_view unwrap_exhausted(std::string_view reason) {
+  constexpr std::string_view kExhausted = "transient_exhausted.";
+  if (reason.substr(0, kExhausted.size()) == kExhausted) {
+    reason.remove_prefix(kExhausted.size());
+  }
+  return reason;
+}
+
+}  // namespace
+
+int RunReport::deadline_soft_sheds() const {
+  int n = 0;
+  for (const auto& r : records) {
+    for (const auto& s : r.shed) {
+      if (unwrap_exhausted(s.reason) == "batch.deadline_soft") ++n;
+    }
+  }
+  return n;
+}
+
+int RunReport::deadline_hard_stops() const {
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.status == RecordOutcome::Status::kQuarantined &&
+        unwrap_exhausted(r.reason) == "batch.deadline_hard") {
+      ++n;
+    }
+  }
+  return n;
 }
 
 int RunReport::count_retries() const {
@@ -66,6 +121,10 @@ void RunReport::sort_records() {
             });
   for (RecordOutcome& r : records) {
     std::sort(r.outputs.begin(), r.outputs.end());
+    std::sort(r.shed.begin(), r.shed.end(),
+              [](const ShedStage& a, const ShedStage& b) {
+                return a.stage < b.stage;
+              });
   }
 }
 
@@ -88,9 +147,11 @@ std::string RunReport::canonical_dump() const {
   sorted.sort_records();
 
   Json root = Json::object();
+  root.set("status", status());
   Json counts = Json::object();
   counts.set("input", static_cast<int>(records.size()));
   counts.set("ok", count_ok());
+  counts.set("degraded", count_degraded());
   counts.set("quarantined", count_quarantined());
   root.set("counts", std::move(counts));
 
@@ -99,14 +160,24 @@ std::string RunReport::canonical_dump() const {
     Json jr = Json::object();
     jr.set("record", r.record);
     jr.set("input", rebase(r.input, input_dir, "<input>"));
-    jr.set("status",
-           r.status == RecordOutcome::Status::kOk ? "ok" : "quarantined");
+    jr.set("status", r.status_string());
     if (r.status == RecordOutcome::Status::kOk) {
+      jr.set("points", static_cast<double>(r.points));
       Json outs = Json::array();
       for (const std::string& o : r.outputs) {
         outs.push(Json(rebase(o, work_dir, "<work>")));
       }
       jr.set("outputs", std::move(outs));
+      if (!r.shed.empty()) {
+        Json shed = Json::array();
+        for (const ShedStage& s : r.shed) {
+          Json js = Json::object();
+          js.set("stage", s.stage);
+          js.set("reason", s.reason);
+          shed.push(std::move(js));
+        }
+        jr.set("shed", std::move(shed));
+      }
     } else {
       jr.set("reason", r.reason);
       jr.set("quarantine", rebase(r.quarantine, work_dir, "<work>"));
@@ -124,10 +195,26 @@ Json RunReport::to_json() const {
   root.set("work_dir", work_dir);
   root.set("driver", driver);
   root.set("threads", threads);
+  root.set("status", status());
   if (speedup_vs_sequential > 0) {
     root.set("speedup_vs_sequential", speedup_vs_sequential);
   }
   root.set("total_seconds", total_seconds);
+
+  // v6 robustness blocks — always present, zeroed when the run had no
+  // deadline budget / no breaker in the filesystem stack.
+  Json deadline = Json::object();
+  deadline.set("soft_seconds", deadline_soft_seconds);
+  deadline.set("hard_seconds", deadline_hard_seconds);
+  deadline.set("soft_sheds", deadline_soft_sheds());
+  deadline.set("hard_stops", deadline_hard_stops());
+  root.set("deadline", std::move(deadline));
+
+  Json breaker = Json::object();
+  breaker.set("rejected_ops", static_cast<double>(breaker_rejected_ops));
+  breaker.set("opens", breaker_opens);
+  breaker.set("half_open_recoveries", breaker_half_open_recoveries);
+  root.set("breaker", std::move(breaker));
 
   Json totals = Json::object();
   for (const auto& [stage, seconds] : stage_totals()) {
@@ -155,6 +242,7 @@ Json RunReport::to_json() const {
   Json counts = Json::object();
   counts.set("input", static_cast<int>(records.size()));
   counts.set("ok", count_ok());
+  counts.set("degraded", count_degraded());
   counts.set("quarantined", count_quarantined());
   counts.set("retries", count_retries());
   root.set("counts", std::move(counts));
@@ -164,13 +252,23 @@ Json RunReport::to_json() const {
     Json jr = Json::object();
     jr.set("record", r.record);
     jr.set("input", r.input);
-    jr.set("status",
-           r.status == RecordOutcome::Status::kOk ? "ok" : "quarantined");
+    jr.set("status", r.status_string());
     if (r.status == RecordOutcome::Status::kOk) {
       jr.set("output", r.output);
+      jr.set("points", static_cast<double>(r.points));
       Json outs = Json::array();
       for (const std::string& o : r.outputs) outs.push(Json(o));
       jr.set("outputs", std::move(outs));
+      if (!r.shed.empty()) {
+        Json shed = Json::array();
+        for (const ShedStage& s : r.shed) {
+          Json js = Json::object();
+          js.set("stage", s.stage);
+          js.set("reason", s.reason);
+          shed.push(std::move(js));
+        }
+        jr.set("shed", std::move(shed));
+      }
     } else {
       jr.set("reason", r.reason);
       jr.set("quarantine", r.quarantine);
@@ -248,12 +346,45 @@ Result<RunReport, std::string> RunReport::from_json_text(
     const std::string status = jr.get_string("status");
     if (status == "ok") {
       r.status = RecordOutcome::Status::kOk;
+    } else if (status == "degraded") {
+      r.status = RecordOutcome::Status::kOk;
+      r.degraded = true;
     } else if (status == "quarantined") {
       r.status = RecordOutcome::Status::kQuarantined;
     } else {
       return "record '" + r.record + "' has bad status '" + status + "'";
     }
     r.output = jr.get_string("output");
+    r.points = static_cast<long long>(jr.get_number("points", 0));
+    if (r.points < 0) {
+      return "record '" + r.record + "' has negative points";
+    }
+    if (const Json* shed = jr.find("shed")) {
+      if (!shed->is_array()) {
+        return "record '" + r.record + "' shed is not an array";
+      }
+      for (const Json& js : shed->items()) {
+        if (!js.is_object()) {
+          return "record '" + r.record + "' shed entry is not an object";
+        }
+        ShedStage s;
+        s.stage = js.get_string("stage");
+        s.reason = js.get_string("reason");
+        if (s.stage.empty() || s.reason.empty()) {
+          return "record '" + r.record + "' shed entry missing stage or reason";
+        }
+        r.shed.push_back(std::move(s));
+      }
+    }
+    // A degraded record is one that shed stages; the flag and the shed
+    // array must agree (quarantined records carry neither).
+    if (r.status == RecordOutcome::Status::kOk && r.degraded == r.shed.empty()) {
+      return "record '" + r.record + "' degraded flag disagrees with shed list";
+    }
+    if (r.status == RecordOutcome::Status::kQuarantined &&
+        (r.degraded || !r.shed.empty())) {
+      return "quarantined record '" + r.record + "' carries shed stages";
+    }
     if (const Json* outs = jr.find("outputs")) {
       if (!outs->is_array()) {
         return "record '" + r.record + "' outputs is not an array";
@@ -304,12 +435,52 @@ Result<RunReport, std::string> RunReport::from_json_text(
     if (static_cast<int>(counts->get_number("input", -1)) !=
             static_cast<int>(report.records.size()) ||
         static_cast<int>(counts->get_number("ok", -1)) != report.count_ok() ||
+        static_cast<int>(counts->get_number("degraded", -1)) !=
+            report.count_degraded() ||
         static_cast<int>(counts->get_number("quarantined", -1)) !=
             report.count_quarantined()) {
       return std::string("run report counts disagree with records array");
     }
   } else {
     return std::string("run report has no counts block");
+  }
+
+  // The event-level status must be the one the records derive.
+  if (root.get_string("status") != report.status()) {
+    return std::string("run report status disagrees with records array");
+  }
+
+  // v6 deadline block: budget plus derived soft-shed/hard-stop counters.
+  const Json* deadline = root.find("deadline");
+  if (!deadline || !deadline->is_object()) {
+    return std::string("run report has no deadline block");
+  }
+  report.deadline_soft_seconds = deadline->get_number("soft_seconds", -1);
+  report.deadline_hard_seconds = deadline->get_number("hard_seconds", -1);
+  if (report.deadline_soft_seconds < 0 || report.deadline_hard_seconds < 0) {
+    return std::string("run report deadline budget is negative or missing");
+  }
+  if (static_cast<int>(deadline->get_number("soft_sheds", -1)) !=
+          report.deadline_soft_sheds() ||
+      static_cast<int>(deadline->get_number("hard_stops", -1)) !=
+          report.deadline_hard_stops()) {
+    return std::string(
+        "run report deadline counters disagree with records array");
+  }
+
+  // v6 breaker block: non-negative counter deltas.
+  const Json* breaker = root.find("breaker");
+  if (!breaker || !breaker->is_object()) {
+    return std::string("run report has no breaker block");
+  }
+  report.breaker_rejected_ops =
+      static_cast<long long>(breaker->get_number("rejected_ops", -1));
+  report.breaker_opens = static_cast<int>(breaker->get_number("opens", -1));
+  report.breaker_half_open_recoveries =
+      static_cast<int>(breaker->get_number("half_open_recoveries", -1));
+  if (report.breaker_rejected_ops < 0 || report.breaker_opens < 0 ||
+      report.breaker_half_open_recoveries < 0) {
+    return std::string("run report breaker counters are negative or missing");
   }
 
   // The stage_totals block must agree with the per-stage seconds in the

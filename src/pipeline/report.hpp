@@ -27,12 +27,30 @@ struct StageAttempt {
   double kernel_seconds = 0;
 };
 
+// v6: one non-essential stage the executor skipped (deadline pressure)
+// or forgave after a storage-layer failure, with the registered reason
+// ("batch.deadline_soft", "storage.circuit_open", ...). A record with
+// shed stages that still publishes its essential V2 is *degraded*, not
+// quarantined — the graceful-degradation contract of docs/BATCH.md.
+struct ShedStage {
+  std::string stage;
+  std::string reason;
+};
+
 struct RecordOutcome {
   enum class Status { kOk, kQuarantined };
 
   std::string record;      // record id, e.g. "SS01l"
   std::string input;       // input file path
   Status status = Status::kOk;
+  // v6: published, but with non-essential stages shed. Only meaningful
+  // for ok records; status_string() folds it into "degraded".
+  bool degraded = false;
+  std::vector<ShedStage> shed;
+  // v6: published data points (sample count of the corrected record);
+  // 0 for quarantined records. Feeds the batch runner's sustained
+  // points/s metric.
+  long long points = 0;
   std::string output;      // primary V2 path (ok records)
   // Every file the record produced, V2 first, then the F and R spectra
   // — the set acx_validate audits against out/.
@@ -42,6 +60,12 @@ struct RecordOutcome {
   std::vector<StageAttempt> stages;
   int retries = 0;     // extra attempts beyond the first, summed over stages
   double seconds = 0;  // wall clock of this record, summed over stages
+
+  // "ok" | "degraded" | "quarantined".
+  const char* status_string() const {
+    if (status == Status::kQuarantined) return "quarantined";
+    return degraded ? "degraded" : "ok";
+  }
 };
 
 // Per-stage aggregate of the v5 profiling fields, summed over records.
@@ -62,8 +86,12 @@ struct StageProfile {
 // plan-cache layer's effect is visible per run. canonical_dump() is
 // unchanged — cache attribution depends on which record warmed a plan
 // first, which is interleaving-dependent under the parallel drivers.
+// v6 adds the robustness block: event-level status (ok|degraded|
+// quarantined), per-record degraded/shed/points, the deadline budget
+// with its soft-shed/hard-stop counters, and the storage circuit
+// breaker's counter deltas for this run (docs/BATCH.md).
 struct RunReport {
-  static constexpr int kVersion = 5;
+  static constexpr int kVersion = 6;
 
   std::string input_dir;
   std::string work_dir;
@@ -73,11 +101,30 @@ struct RunReport {
   // supplied (acx_process --baseline); 0 = not measured, omitted.
   double speedup_vs_sequential = 0;
   double total_seconds = 0;  // wall clock of the whole event run
+  // v6: the deadline budget this event ran under (0 = unbounded) and
+  // the breaker counter deltas observed during the run (all zero when
+  // no BreakerFileSystem is in the stack).
+  double deadline_soft_seconds = 0;
+  double deadline_hard_seconds = 0;
+  long long breaker_rejected_ops = 0;
+  int breaker_opens = 0;
+  int breaker_half_open_recoveries = 0;
   std::vector<RecordOutcome> records;
 
-  int count_ok() const;
+  // v6 event-level status: "quarantined" when the event published
+  // nothing (every record quarantined), "degraded" when any surviving
+  // record shed stages, else "ok".
+  const char* status() const;
+
+  int count_ok() const;         // ok records, degraded included
+  int count_degraded() const;
   int count_quarantined() const;
   int count_retries() const;
+  long long total_points() const;  // published data points, summed
+  // Derived deadline counters: shed entries attributed to the soft
+  // deadline, and records stopped by the hard one.
+  int deadline_soft_sheds() const;
+  int deadline_hard_stops() const;
   // Wall clock summed per stage name over every record — the numbers
   // the Table I per-stage benches are driven from.
   std::map<std::string, double> stage_totals() const;

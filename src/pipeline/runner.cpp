@@ -63,6 +63,18 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
   RecordExecutor exec(fs_, effective);
   exec.instantiate(graph, prunes_redundant(cfg_.driver));
 
+  // Arm the per-event deadline budget before any worker starts; the
+  // tracker is read-only from here on, so the parallel drivers may poll
+  // it without locking. Stamp the budget (and the breaker's counters,
+  // when one is wired in) into the v6 report.
+  DeadlineTracker deadline(cfg_.deadline, cfg_.now);
+  deadline.start();
+  exec.set_deadline(&deadline);
+  report.deadline_soft_seconds = cfg_.deadline.soft_seconds;
+  report.deadline_hard_seconds = cfg_.deadline.hard_seconds;
+  const storage::BreakerCounters breaker_before =
+      cfg_.breaker ? cfg_.breaker->counters() : storage::BreakerCounters{};
+
   // Sorted inputs give a deterministic slot order, so the report (and
   // the fail-fast stopping point of the sequential drivers) does not
   // depend on directory enumeration order.
@@ -93,6 +105,14 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
   if (cfg_.baseline_total_seconds > 0 && report.total_seconds > 0) {
     report.speedup_vs_sequential =
         cfg_.baseline_total_seconds / report.total_seconds;
+  }
+  if (cfg_.breaker) {
+    const storage::BreakerCounters after = cfg_.breaker->counters();
+    report.breaker_rejected_ops =
+        after.rejected_ops - breaker_before.rejected_ops;
+    report.breaker_opens = after.opens - breaker_before.opens;
+    report.breaker_half_open_recoveries =
+        after.half_open_recoveries - breaker_before.half_open_recoveries;
   }
   report.sort_records();
 

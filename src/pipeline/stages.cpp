@@ -18,7 +18,9 @@ namespace acx::pipeline {
 namespace {
 
 StageError from_io(const IoError& e) {
-  return StageError{e.klass, std::string("io.") + slug(e.code), e.to_string()};
+  // reason_slug keeps the family split: breaker rejections surface as
+  // storage.circuit_open, everything else as io.<code>.
+  return StageError{e.klass, reason_slug(e), e.to_string()};
 }
 
 // Numerical failures are deterministic for the record's data, so every

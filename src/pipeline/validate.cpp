@@ -175,9 +175,31 @@ ValidationSummary validate_workdir(FileSystem& fs,
           check_peak("PGD", out_rec.peaks.pgd);
         }
       }
+      // v6 degradation audit: a degraded record must say which stages it
+      // shed, and every shed reason must be registered — degradation is
+      // a typed contract, not a free-form excuse.
+      std::set<std::string> shed_stages;
+      if (r.degraded && r.shed.empty()) {
+        add_issue(summary, "missing_shed",
+                  "record " + r.record + " is degraded but lists no shed "
+                  "stages");
+      }
+      for (const ShedStage& s : r.shed) {
+        shed_stages.insert(s.stage);
+        if (!is_registered_reason(s.reason)) {
+          add_issue(summary, "unregistered_reason",
+                    "record " + r.record + " shed stage '" + s.stage +
+                        "' with reason '" + s.reason +
+                        "' not in the registry");
+        }
+      }
       // A surviving record must have produced its spectra when the
-      // report is new enough to list them.
-      if (!r.outputs.empty() && (!has_f || !has_r)) {
+      // report is new enough to list them — unless it (legitimately)
+      // shed the producing stage and published as degraded.
+      const bool f_excused = shed_stages.count("fourier") > 0;
+      const bool r_excused = shed_stages.count("response") > 0;
+      if (!r.outputs.empty() &&
+          ((!has_f && !f_excused) || (!has_r && !r_excused))) {
         add_issue(summary, "missing_spectra",
                   "record " + r.record + " is ok but claims no " +
                       (has_f ? "R" : has_r ? "F" : "F or R") + " output");

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <limits>
+
+namespace acx {
+
+// Monotonic time source, in seconds. Injectable so the deadline and
+// circuit-breaker tests can drive a manual clock instead of sleeping;
+// production uses steady_now_seconds.
+using NowFn = std::function<double()>;
+
+inline double steady_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-event wall-clock budget. Soft: stop doing optional work (the
+// executor sheds stages marked sheddable). Hard: stop doing any further
+// work (records that have not reached their essential output are
+// quarantined as batch.deadline_hard and the event finalizes with
+// whatever completed). 0 disables either axis.
+struct DeadlineConfig {
+  double soft_seconds = 0;
+  double hard_seconds = 0;
+
+  bool enabled() const { return soft_seconds > 0 || hard_seconds > 0; }
+};
+
+// The armed budget of one event run. start() is called once by the
+// runner before any worker touches it; afterwards every field is
+// read-only, so any number of threads may poll it without locking.
+class DeadlineTracker {
+ public:
+  DeadlineTracker() = default;
+  DeadlineTracker(DeadlineConfig cfg, NowFn now)
+      : cfg_(cfg), now_(std::move(now)) {}
+
+  void start() {
+    started_ = true;
+    start_ = now_ ? now_() : steady_now_seconds();
+  }
+
+  double elapsed_seconds() const {
+    if (!started_) return 0;
+    return (now_ ? now_() : steady_now_seconds()) - start_;
+  }
+
+  bool soft_expired() const {
+    return started_ && cfg_.soft_seconds > 0 &&
+           elapsed_seconds() >= cfg_.soft_seconds;
+  }
+
+  bool hard_expired() const {
+    return started_ && cfg_.hard_seconds > 0 &&
+           elapsed_seconds() >= cfg_.hard_seconds;
+  }
+
+  // Milliseconds left before the hard deadline; +inf when unbounded.
+  // The retry loop refuses to start a backoff sleep longer than this,
+  // so retries always respect the remaining budget.
+  double remaining_hard_ms() const {
+    if (!started_ || cfg_.hard_seconds <= 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return (cfg_.hard_seconds - elapsed_seconds()) * 1000.0;
+  }
+
+  const DeadlineConfig& config() const { return cfg_; }
+
+ private:
+  DeadlineConfig cfg_;
+  NowFn now_;
+  double start_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace acx

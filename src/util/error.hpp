@@ -34,6 +34,7 @@ struct IoError {
     kInjectedListFault,
     kInjectedRemoveFault,
     kGraphInvalid,  // stage graph failed its structural audit
+    kCircuitOpen,   // storage circuit breaker is shedding load
   };
 
   Code code{};
@@ -63,13 +64,23 @@ inline const char* slug(IoError::Code c) {
     case IoError::Code::kInjectedListFault: return "injected_list_fault";
     case IoError::Code::kInjectedRemoveFault: return "injected_remove_fault";
     case IoError::Code::kGraphInvalid: return "graph_invalid";
+    case IoError::Code::kCircuitOpen: return "circuit_open";
   }
   return "unknown";
 }
 
+// The family-qualified reason slug an IoError contributes to quarantine
+// names and run reports. Most I/O errors are "io.<slug>"; breaker
+// rejections are "storage.circuit_open" — a storage-layer condition,
+// not a property of the individual operation (pipeline/reasons.hpp
+// registers the storage.* family separately).
+inline std::string reason_slug(const IoError& e) {
+  if (e.code == IoError::Code::kCircuitOpen) return "storage.circuit_open";
+  return std::string("io.") + slug(e.code);
+}
+
 inline std::string IoError::to_string() const {
-  std::string s = "io.";
-  s += slug(code);
+  std::string s = reason_slug(*this);
   s += " [";
   s += acx::to_string(klass);
   s += "] ";

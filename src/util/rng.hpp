@@ -2,8 +2,22 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 namespace acx {
+
+// FNV-1a: a stable, platform-independent string hash. Used to salt the
+// retry-jitter streams per (record, stage) and to shard per-event work
+// dirs — both need the same answer on every run and every machine,
+// which std::hash does not promise.
+inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 // SplitMix64: seeds the main generator and derives independent streams
 // (one per record / per injected-fault site) from a single run seed.

@@ -1,0 +1,177 @@
+// The modeled storage stack of the batch runner: the latency shim
+// (SlowFileSystem), the circuit breaker's state machine, and the
+// breaker-guarded FileSystem — including the typed storage.circuit_open
+// rejection the pipeline's degradation path keys on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "test_helpers.hpp"
+#include "util/breaker.hpp"
+#include "util/faultfs.hpp"
+#include "util/fs.hpp"
+#include "util/slowfs.hpp"
+
+namespace acx::storage {
+namespace {
+
+TEST(SlowFs, InjectsDeterministicSeededLatency) {
+  test::TempDir tmp("slowfs");
+  RealFileSystem real;
+  ASSERT_TRUE(real.write_file(tmp.path() / "a.txt", "hello").ok());
+
+  auto run_once = [&](std::uint64_t seed) {
+    SlowConfig cfg;
+    cfg.seed = seed;
+    cfg.base_ms = 2;
+    cfg.jitter_ms = 5;
+    cfg.per_kib_ms = 1;
+    std::vector<int> sleeps;
+    cfg.sleep = [&sleeps](int ms) { sleeps.push_back(ms); };
+    SlowFileSystem slow(real, cfg);
+    EXPECT_TRUE(slow.read_file(tmp.path() / "a.txt").ok());
+    EXPECT_TRUE(slow.write_file(tmp.path() / "b.txt", "world").ok());
+    EXPECT_TRUE(slow.list_dir(tmp.path()).ok());
+    EXPECT_EQ(slow.stats().ops, 3);
+    EXPECT_GT(slow.stats().total_latency_ms, 0);
+    return sleeps;
+  };
+
+  const auto first = run_once(42);
+  const auto second = run_once(42);
+  EXPECT_EQ(first, second) << "same seed must inject the same latencies";
+  EXPECT_NE(first, run_once(43)) << "different seed, different jitter";
+}
+
+TEST(SlowFs, AdvisoryProbesAndZeroModelAreFree) {
+  test::TempDir tmp("slowfs");
+  RealFileSystem real;
+  ASSERT_TRUE(real.write_file(tmp.path() / "a.txt", "hello").ok());
+
+  SlowConfig cfg;  // all-zero latency model
+  cfg.sleep = [](int) { FAIL() << "zero model must never sleep"; };
+  SlowFileSystem slow(real, cfg);
+  EXPECT_TRUE(slow.exists(tmp.path() / "a.txt"));
+  EXPECT_EQ(slow.file_size(tmp.path() / "a.txt"), 5u);
+  EXPECT_TRUE(slow.read_file(tmp.path() / "a.txt").ok());
+  EXPECT_EQ(slow.stats().ops, 0);
+}
+
+TEST(CircuitBreaker, ClosedOpenHalfOpenLifecycle) {
+  double now = 0;
+  BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_seconds = 10;
+  cfg.half_open_probes = 2;
+  cfg.now = [&now] { return now; };
+  CircuitBreaker breaker(cfg);
+
+  // Closed: failures below the threshold do not trip it, and a success
+  // resets the consecutive count.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.record_failure();
+  breaker.record_failure();
+  breaker.record_success();
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  // The third consecutive failure trips it open.
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.counters().opens, 1);
+
+  // Open: operations are shed (and counted) until the cooldown passes.
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.counters().rejected_ops, 2);
+
+  // Cooldown over: half-open lets probes through.
+  now = 11;
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // A failed probe re-opens with a fresh cooldown.
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.counters().opens, 2);
+  EXPECT_FALSE(breaker.allow());
+
+  // Second cooldown, then the configured number of successful probes
+  // closes it — one half-open recovery.
+  now = 22;
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.counters().half_open_recoveries, 1);
+}
+
+TEST(BreakerFs, RejectsWithTypedTransientStorageReason) {
+  test::TempDir tmp("breakerfs");
+  RealFileSystem real;
+  faultfs::FaultConfig faults;
+  faults.read_fail_first_n = 100;  // the backend is down
+  faultfs::FaultyFileSystem flaky(real, faults);
+
+  double now = 0;
+  BreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.open_seconds = 10;
+  cfg.now = [&now] { return now; };
+  CircuitBreaker breaker(cfg);
+  BreakerFileSystem fs(flaky, breaker);
+
+  // Failures pass through (and feed the breaker) until it trips.
+  EXPECT_FALSE(fs.read_file(tmp.path() / "x").ok());
+  EXPECT_FALSE(fs.read_file(tmp.path() / "x").ok());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Open: the rejection is typed, transient, and never hits the backend.
+  const int backend_faults = flaky.stats().injected_read_faults;
+  auto rejectedRead = fs.read_file(tmp.path() / "x");
+  ASSERT_FALSE(rejectedRead.ok());
+  EXPECT_EQ(rejectedRead.error().code, IoError::Code::kCircuitOpen);
+  EXPECT_EQ(rejectedRead.error().klass, ErrorClass::kTransient);
+  EXPECT_EQ(reason_slug(rejectedRead.error()), "storage.circuit_open");
+  EXPECT_EQ(flaky.stats().injected_read_faults, backend_faults);
+
+  // Writes are shed too while open.
+  EXPECT_FALSE(fs.write_file(tmp.path() / "y", "data").ok());
+  EXPECT_GE(breaker.counters().rejected_ops, 2);
+}
+
+TEST(BreakerFs, RecoversThroughHalfOpenWhenBackendHeals) {
+  test::TempDir tmp("breakerfs");
+  RealFileSystem real;
+  ASSERT_TRUE(real.write_file(tmp.path() / "x", "payload").ok());
+  faultfs::FaultConfig faults;
+  faults.read_fail_first_n = 3;  // the backend heals after three faults
+  faultfs::FaultyFileSystem flaky(real, faults);
+
+  double now = 0;
+  BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_seconds = 5;
+  cfg.half_open_probes = 1;
+  cfg.now = [&now] { return now; };
+  CircuitBreaker breaker(cfg);
+  BreakerFileSystem fs(flaky, breaker);
+
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(fs.read_file(tmp.path() / "x").ok());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  now = 6;  // cooldown over; the healed backend serves the probe
+  auto probed = fs.read_file(tmp.path() / "x");
+  ASSERT_TRUE(probed.ok());
+  EXPECT_EQ(probed.value(), "payload");
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.counters().half_open_recoveries, 1);
+}
+
+}  // namespace
+}  // namespace acx::storage

@@ -93,6 +93,79 @@ TEST(Retry, BackoffIsCappedExponential) {
   EXPECT_EQ(p.backoff_ms_for(10), 50);  // stays capped
 }
 
+TEST(Retry, JitteredBackoffIsDeterministicBoundedAndSaltDecorrelated) {
+  RetryPolicy p;
+  p.max_attempts = 6;
+  p.initial_backoff_ms = 10;
+  p.max_backoff_ms = 250;
+  p.jitter_fraction = 0.5;
+  p.jitter_seed = 7;
+
+  auto collect = [&](std::uint64_t salt) {
+    std::vector<int> sleeps;
+    (void)run_with_retry<Unit, IoError>(
+        p, [&](int ms) { sleeps.push_back(ms); },
+        [](const IoError& e) { return e.klass; },
+        [&]() -> Result<Unit, IoError> {
+          return IoError{IoError::Code::kWriteFailed, ErrorClass::kTransient,
+                         "x", "flaky"};
+        },
+        nullptr, salt);
+    return sleeps;
+  };
+
+  // Fixed (seed, salt) reproduces every sleep exactly; each one lands in
+  // [ceiling/2, ceiling] of the jitter-free schedule.
+  const auto first = collect(1);
+  EXPECT_EQ(first, collect(1));
+  ASSERT_EQ(first.size(), 5u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const int ceiling = p.backoff_ms_for(static_cast<int>(i) + 1);
+    EXPECT_GE(first[i], ceiling - ceiling / 2);
+    EXPECT_LE(first[i], ceiling);
+  }
+
+  // Two call sites (think: two records retrying the same stage) draw
+  // from decorrelated streams — the thundering-herd fix.
+  EXPECT_NE(first, collect(2));
+
+  // jitter_fraction 0 restores the exact exponential schedule.
+  RetryPolicy plain = p;
+  plain.jitter_fraction = 0;
+  std::vector<int> sleeps;
+  (void)run_with_retry<Unit, IoError>(
+      plain, [&](int ms) { sleeps.push_back(ms); },
+      [](const IoError& e) { return e.klass; },
+      [&]() -> Result<Unit, IoError> {
+        return IoError{IoError::Code::kWriteFailed, ErrorClass::kTransient, "x",
+                       ""};
+      });
+  EXPECT_EQ(sleeps, (std::vector<int>{10, 20, 40, 80, 160}));
+}
+
+TEST(Retry, BudgetVetoStopsRetryingEarly) {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.jitter_fraction = 0;
+  int calls = 0;
+  std::vector<int> sleeps;
+  // Budget admits only backoffs under 30ms: attempt 1 sleeps 10, attempt
+  // 2 sleeps 20, then the 40ms backoff is vetoed and the last error is
+  // returned without further attempts.
+  auto r = run_with_retry<Unit, IoError>(
+      p, [&](int ms) { sleeps.push_back(ms); },
+      [](const IoError& e) { return e.klass; },
+      [&]() -> Result<Unit, IoError> {
+        ++calls;
+        return IoError{IoError::Code::kWriteFailed, ErrorClass::kTransient, "x",
+                       ""};
+      },
+      nullptr, 0, [](int next_backoff_ms) { return next_backoff_ms < 30; });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps, (std::vector<int>{10, 20}));
+}
+
 TEST(Retry, TransientRetriesUntilSuccess) {
   RetryPolicy p;
   p.max_attempts = 5;
