@@ -1,0 +1,100 @@
+// Simulator economics: the schedule simulator exists to run after
+// every measured event, so its own cost must stay trivial next to the
+// runs it models. These benches build a paper-sized cost model (19
+// records, every stage) and time graph construction + list scheduling
+// at P=12 for the full driver, the complete four-driver analysis, and
+// the hot scheduler loop at a large split factor. Gated against
+// bench/baseline.json like the kernel benches.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pipeline/graph.hpp"
+#include "sched/analysis.hpp"
+#include "sched/cost_model.hpp"
+#include "sched/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace acx::sched;
+
+// A deterministic synthetic cost model shaped like the paper's event 6
+// (19 records): every stage of the standard graph costed, response
+// dominant, per-record jitter from the seeded repo RNG.
+CostModel paper_sized_model() {
+  CostModel model;
+  model.source = "bench";
+  const auto shape = acx::pipeline::StageGraph::standard().shape();
+  std::uint64_t state = 12450;
+  for (int i = 0; i < 19; ++i) {
+    RecordCosts r;
+    char id[16];
+    std::snprintf(id, sizeof id, "SS%02d", i);
+    r.record = id;
+    r.points = 20000;
+    for (const auto& s : shape) {
+      const double jitter =
+          0.5 + static_cast<double>(acx::splitmix64(state) % 1000) / 1000.0;
+      const double base = s.name == "response" ? 40e-3 : 1e-3;
+      r.stage_seconds[s.name] = base * jitter;
+    }
+    model.records.push_back(std::move(r));
+  }
+  return model;
+}
+
+void BM_SchedFullGraphBuild(benchmark::State& state) {
+  const CostModel model = paper_sized_model();
+  const auto shape = acx::pipeline::StageGraph::standard().shape();
+  std::vector<acx::pipeline::StageShape> pruned;
+  for (const auto& s : shape) {
+    if (!s.redundant) pruned.push_back(s);
+  }
+  GraphOptions opt;
+  opt.split = 12;
+  for (auto _ : state) {
+    TaskGraph g = record_graph(model, pruned, opt);
+    benchmark::DoNotOptimize(g.tasks.data());
+  }
+}
+BENCHMARK(BM_SchedFullGraphBuild);
+
+void BM_SchedListSchedule(benchmark::State& state) {
+  const CostModel model = paper_sized_model();
+  const auto shape = acx::pipeline::StageGraph::standard().shape();
+  std::vector<acx::pipeline::StageShape> pruned;
+  for (const auto& s : shape) {
+    if (!s.redundant) pruned.push_back(s);
+  }
+  GraphOptions opt;
+  opt.split = static_cast<int>(state.range(0));
+  const TaskGraph g = record_graph(model, pruned, opt);
+  for (auto _ : state) {
+    Schedule s = list_schedule(g, 12, 12450);
+    benchmark::DoNotOptimize(s.makespan);
+  }
+  state.counters["tasks"] = static_cast<double>(g.tasks.size());
+}
+BENCHMARK(BM_SchedListSchedule)->Arg(12)->Arg(64);
+
+void BM_SchedAnalyzeAllDrivers(benchmark::State& state) {
+  const CostModel model = paper_sized_model();
+  const auto shape = acx::pipeline::StageGraph::standard().shape();
+  AnalysisOptions opt;
+  opt.procs = 12;
+  opt.sweep = {1, 2, 4, 8, 12};
+  for (auto _ : state) {
+    auto res = analyze(model, shape, opt);
+    if (!res.ok()) std::abort();
+    benchmark::DoNotOptimize(res.value().drivers.data());
+  }
+}
+BENCHMARK(BM_SchedAnalyzeAllDrivers);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -115,6 +115,62 @@ while IFS= read -r slug; do
   fi
 done < <(grep -ohE '\b(storage|batch)\.[a-z_]+\b' docs/*.md | sort -u)
 
+# 7. The sched-report keys documented in docs/SCHED.md must still be
+#    emitted by the analysis writer (the acx_sched --json schema).
+for key in version tool procs seed response_split anchor source records \
+           points excluded flagged measured drivers work span makespan \
+           brent_lower brent_upper speedup stages stage redundant tasks \
+           seq_seconds share modeled_seconds sweep floored_costs; do
+  if ! grep -q "\"$key\"" src/sched/analysis.cpp; then
+    echo "docs-rot: docs/SCHED.md documents sched-report key '$key'" \
+         "but src/sched/analysis.cpp no longer emits it" >&2
+    fail=1
+  fi
+done
+
+# 8. Every CSV column scripts/paper_figures.py writes must be named in
+#    docs/SCHED.md, and vice versa for the three CSV file names — a
+#    renamed column or artifact rots here, not in a downstream reader.
+for col in $(python3 - <<'EOF'
+import re
+src = open("scripts/paper_figures.py", encoding="utf-8").read()
+cols = set()
+for block in re.findall(r"COLUMNS = \[(.*?)\]", src, re.S):
+    cols.update(re.findall(r'"([a-z0-9_]+)"', block))
+print("\n".join(sorted(cols)))
+EOF
+); do
+  if ! grep -q "\`$col\`" docs/SCHED.md; then
+    echo "docs-rot: paper_figures.py writes CSV column '$col' but" \
+         "docs/SCHED.md does not document it" >&2
+    fail=1
+  fi
+done
+for csv in table1.csv fig11.csv fig13.csv; do
+  for place in docs/SCHED.md docs/EVALUATION.md scripts/paper_figures.py; do
+    if ! grep -q "$csv" "$place"; then
+      echo "docs-rot: $place no longer mentions artifact '$csv'" >&2
+      fail=1
+    fi
+  done
+done
+
+# 9. The sched vocabulary the docs lean on must keep its anchors in the
+#    simulator sources (a rename of the core concepts rots the docs).
+for pair in "brent_lower:src/sched/analysis.hpp" \
+            "critical_paths:src/sched/simulator.hpp" \
+            "ok_stage_seconds:src/pipeline/report.hpp" \
+            "scratch_setup:src/pipeline/graph.cpp" \
+            "list_schedule:src/sched/simulator.hpp" \
+            "render_gantt:src/sched/gantt.hpp"; do
+  word=${pair%%:*}; where=${pair#*:}
+  if ! grep -q "$word" "$where"; then
+    echo "docs-rot: sched term '$word' documented in docs/SCHED.md is" \
+         "no longer defined in $where" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs-rot check FAILED" >&2
   exit 1

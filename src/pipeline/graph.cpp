@@ -21,6 +21,21 @@ std::vector<const StageNode*> StageGraph::plan(bool prune_redundant) const {
   return out;
 }
 
+std::vector<StageShape> StageGraph::shape() const {
+  std::vector<StageShape> out;
+  out.reserve(nodes_.size() + 1);
+  // The executor's implicit first step: private scratch dir per record,
+  // run before the graph's own stage_in (RecordExecutor::setup_scratch).
+  out.push_back({"scratch_setup", {}, false, true, false});
+  for (const StageNode& node : nodes_) {
+    StageShape s{node.name, node.deps, node.redundant, node.parallel_safe,
+                 node.sheddable};
+    if (node.deps.empty()) s.deps.push_back("scratch_setup");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 Result<Unit, std::string> StageGraph::verify() const {
   std::set<std::string> seen;
   for (const StageNode& node : nodes_) {

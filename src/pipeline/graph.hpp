@@ -43,6 +43,18 @@ struct StageNode {
   std::function<std::unique_ptr<Stage>()> make;
 };
 
+// The executable part of a StageNode stripped away: what a consumer
+// that *models* the graph (the src/sched simulator) needs — names,
+// dependency edges, and the scheduling flags — without dragging in the
+// stage factories or their configs.
+struct StageShape {
+  std::string name;
+  std::vector<std::string> deps;
+  bool redundant = false;
+  bool parallel_safe = false;
+  bool sheddable = false;
+};
+
 // The declared pipeline: stages, dependency edges, and which of them
 // are redundant. Declaration order doubles as the execution order of
 // the sequential drivers, so verify() insists it is a topological
@@ -66,6 +78,12 @@ class StageGraph {
   // four drivers run the same plan objects; they differ only in how
   // they schedule it.
   std::vector<const StageNode*> plan(bool prune_redundant) const;
+
+  // Shape-only projection in declaration order, for consumers that
+  // model the graph rather than execute it (src/sched). Prepends the
+  // implicit per-record scratch_setup step the executor runs before
+  // stage_in, so the shape covers every stage a run report can carry.
+  std::vector<StageShape> shape() const;
 
   // Structural audit: unique names, every dep names an earlier node
   // (declaration order must be topological), and no surviving node

@@ -9,6 +9,14 @@
 
 namespace acx::pipeline {
 
+std::map<std::string, double> RecordOutcome::ok_stage_seconds() const {
+  std::map<std::string, double> out;
+  for (const StageAttempt& s : stages) {
+    if (s.ok) out[s.stage] += s.seconds;
+  }
+  return out;
+}
+
 int RunReport::count_ok() const {
   int n = 0;
   for (const auto& r : records) {

@@ -66,6 +66,12 @@ struct RecordOutcome {
     if (status == Status::kQuarantined) return "quarantined";
     return degraded ? "degraded" : "ok";
   }
+
+  // Cost-extraction hook for the src/sched simulator: wall seconds per
+  // *successful* stage of this record. Failed attempt groups are
+  // excluded — a stage that never completed did not yield a cost
+  // measurement, only a truncation of one.
+  std::map<std::string, double> ok_stage_seconds() const;
 };
 
 // Per-stage aggregate of the v5 profiling fields, summed over records.

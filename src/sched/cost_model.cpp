@@ -1,0 +1,185 @@
+#include "sched/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace acx::sched {
+
+long long CostModel::total_points() const {
+  long long n = 0;
+  for (const RecordCosts& r : records) n += r.points;
+  return n;
+}
+
+double CostModel::stage_work(const std::string& stage) const {
+  double sum = 0;
+  for (const RecordCosts& r : records) {
+    auto it = r.stage_seconds.find(stage);
+    if (it != r.stage_seconds.end()) sum += it->second;
+  }
+  return sum;
+}
+
+bool CostModel::has_stage(const std::string& stage) const {
+  for (const RecordCosts& r : records) {
+    if (r.stage_seconds.count(stage)) return true;
+  }
+  return false;
+}
+
+const RecordCosts* CostModel::find(const std::string& record) const {
+  for (const RecordCosts& r : records) {
+    if (r.record == record) return &r;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void sort_records(CostModel& model) {
+  std::sort(model.records.begin(), model.records.end(),
+            [](const RecordCosts& a, const RecordCosts& b) {
+              return a.record < b.record;
+            });
+}
+
+// Floor-and-audit one extracted cost; false on corrupt input.
+bool admit_cost(double seconds, const CostModelOptions& opt, double& out,
+                int& floored) {
+  if (!std::isfinite(seconds) || seconds < 0) return false;
+  if (seconds < opt.floor_seconds) {
+    out = opt.floor_seconds;
+    ++floored;
+  } else {
+    out = seconds;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<CostModel, std::string> cost_model_from_report(
+    const pipeline::RunReport& report, const CostModelOptions& opt) {
+  if (opt.floor_seconds <= 0 || !std::isfinite(opt.floor_seconds)) {
+    return std::string("cost model floor_seconds must be positive");
+  }
+  CostModel model;
+  model.source = report.input_dir;
+  model.measured.push_back(
+      {report.driver, report.threads, report.total_seconds});
+
+  for (const pipeline::RecordOutcome& r : report.records) {
+    if (r.status == pipeline::RecordOutcome::Status::kQuarantined) {
+      ++model.excluded_quarantined;
+      continue;
+    }
+    if (r.degraded && !opt.include_degraded) {
+      ++model.excluded_degraded;
+      continue;
+    }
+    RecordCosts costs;
+    costs.record = r.record;
+    costs.points = r.points;
+    costs.retried = r.retries > 0;
+    costs.shed_flagged = r.degraded;
+    if (costs.retried) ++model.flagged_retried;
+    if (costs.shed_flagged) ++model.flagged_degraded;
+    for (const auto& [stage, seconds] : r.ok_stage_seconds()) {
+      double admitted = 0;
+      if (!admit_cost(seconds, opt, admitted, model.floored_costs)) {
+        return "record '" + r.record + "' stage '" + stage +
+               "' has a non-finite or negative cost";
+      }
+      costs.stage_seconds[stage] = admitted;
+    }
+    if (costs.stage_seconds.empty()) {
+      return "record '" + r.record + "' published but has no stage costs";
+    }
+    model.records.push_back(std::move(costs));
+  }
+  if (model.records.empty()) {
+    return std::string(
+        "no usable records: every record was quarantined or degraded "
+        "(consider include_degraded)");
+  }
+  sort_records(model);
+  return model;
+}
+
+Result<CostModel, std::string> cost_model_from_profile(
+    const pipeline::RunReport& report, const CostModelOptions& opt) {
+  if (opt.floor_seconds <= 0 || !std::isfinite(opt.floor_seconds)) {
+    return std::string("cost model floor_seconds must be positive");
+  }
+  CostModel model;
+  model.source = report.input_dir;
+  model.measured.push_back(
+      {report.driver, report.threads, report.total_seconds});
+
+  std::vector<const pipeline::RecordOutcome*> survivors;
+  for (const pipeline::RecordOutcome& r : report.records) {
+    if (r.status == pipeline::RecordOutcome::Status::kQuarantined) {
+      ++model.excluded_quarantined;
+      continue;
+    }
+    survivors.push_back(&r);
+  }
+  if (survivors.empty()) {
+    return std::string("no usable records: every record was quarantined");
+  }
+
+  const auto totals = report.stage_totals();
+  const double n = static_cast<double>(survivors.size());
+  for (const pipeline::RecordOutcome* r : survivors) {
+    RecordCosts costs;
+    costs.record = r->record;
+    costs.points = r->points;
+    costs.retried = r->retries > 0;
+    costs.shed_flagged = r->degraded;
+    if (costs.retried) ++model.flagged_retried;
+    if (costs.shed_flagged) ++model.flagged_degraded;
+    for (const auto& [stage, seconds] : totals) {
+      double admitted = 0;
+      if (!admit_cost(seconds / n, opt, admitted, model.floored_costs)) {
+        return "stage_totals entry '" + stage +
+               "' has a non-finite or negative cost";
+      }
+      costs.stage_seconds[stage] = admitted;
+    }
+    if (costs.stage_seconds.empty()) {
+      return std::string("report has an empty stage_totals block");
+    }
+    model.records.push_back(std::move(costs));
+  }
+  sort_records(model);
+  return model;
+}
+
+void merge_cost_model(CostModel& into, const CostModel& from) {
+  if (into.source.empty()) into.source = from.source;
+  for (const RecordCosts& r : from.records) {
+    RecordCosts* mine = nullptr;
+    for (RecordCosts& candidate : into.records) {
+      if (candidate.record == r.record) {
+        mine = &candidate;
+        break;
+      }
+    }
+    if (!mine) {
+      into.records.push_back(r);
+      continue;
+    }
+    for (const auto& [stage, seconds] : r.stage_seconds) {
+      mine->stage_seconds.emplace(stage, seconds);  // first report wins
+    }
+  }
+  for (const MeasuredRun& m : from.measured) into.measured.push_back(m);
+  into.excluded_quarantined += from.excluded_quarantined;
+  into.excluded_degraded += from.excluded_degraded;
+  into.flagged_degraded += from.flagged_degraded;
+  into.flagged_retried += from.flagged_retried;
+  into.floored_costs += from.floored_costs;
+  sort_records(into);
+}
+
+}  // namespace acx::sched

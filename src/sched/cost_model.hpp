@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pipeline/report.hpp"
+#include "util/result.hpp"
+
+namespace acx::sched {
+
+// Measured stage costs of one record, extracted from a v6
+// run_report.json. `retried` flags a record whose costs include retry
+// backoff sleeps — the model keeps it but marks the contamination;
+// `shed_flagged` flags a degraded record kept under
+// CostModelOptions::include_degraded, whose shed stages carry no cost.
+struct RecordCosts {
+  std::string record;
+  long long points = 0;
+  bool retried = false;
+  bool shed_flagged = false;
+  std::map<std::string, double> stage_seconds;
+};
+
+struct CostModelOptions {
+  // Keep degraded records (their shed stages simply have no cost row)
+  // instead of excluding them. Quarantined records are always excluded:
+  // a record that published nothing measured nothing.
+  bool include_degraded = false;
+  // A measured cost of exactly zero would make its task invisible to
+  // the scheduler and poison speedup ratios; zero-duration measurements
+  // (clock-resolution artifacts) are raised to this floor and counted.
+  double floor_seconds = 1e-9;
+};
+
+// One measured wall-clock anchor carried over from a source report.
+struct MeasuredRun {
+  std::string driver;  // "seq" | "seq-opt" | "partial" | "full"
+  int threads = 1;
+  double total_seconds = 0;
+};
+
+// The simulator's input: per-(record, stage) costs plus the bookkeeping
+// of what the extraction excluded or flagged. Records are sorted by id,
+// so a model built twice from the same report is identical.
+struct CostModel {
+  std::string source;  // input_dir of the first contributing report
+  std::vector<RecordCosts> records;
+  std::vector<MeasuredRun> measured;
+  int excluded_quarantined = 0;
+  int excluded_degraded = 0;
+  int flagged_degraded = 0;
+  int flagged_retried = 0;
+  int floored_costs = 0;
+
+  long long total_points() const;
+  // Summed cost of one stage across all records (0 when absent).
+  double stage_work(const std::string& stage) const;
+  // True when at least one record carries a cost for the stage.
+  bool has_stage(const std::string& stage) const;
+  const RecordCosts* find(const std::string& record) const;
+};
+
+// Extract the per-record costs of a parsed report. Fails when nothing
+// usable survives the exclusion policy, or when a surviving cost is
+// negative or non-finite (a corrupt report).
+Result<CostModel, std::string> cost_model_from_report(
+    const pipeline::RunReport& report, const CostModelOptions& opt = {});
+
+// Fallback extraction when per-record rows are unusable (e.g. every
+// record degraded under deadline pressure): spread each stage's
+// stage_totals cost evenly across the ok records. Coarser — every
+// record looks average-sized — but still exercises the schedule shape.
+Result<CostModel, std::string> cost_model_from_profile(
+    const pipeline::RunReport& report, const CostModelOptions& opt = {});
+
+// Merge `from` into `into`: unknown records are adopted whole, known
+// records adopt only stages they lack (first report wins per
+// (record, stage) — pass the authoritative report first). Measured
+// anchors are appended; exclusion counters are summed.
+void merge_cost_model(CostModel& into, const CostModel& from);
+
+}  // namespace acx::sched

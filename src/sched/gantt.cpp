@@ -1,0 +1,91 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+namespace acx::sched {
+
+namespace {
+
+// Stable stage -> letter assignment: first appearance in task order.
+// A-Z then a-z then digits; '?' past 62 distinct stages.
+char stage_letter(std::size_t index) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  if (index < sizeof(kAlphabet) - 1) return kAlphabet[index];
+  return '?';
+}
+
+}  // namespace
+
+std::string render_gantt(const TaskGraph& graph, const Schedule& schedule,
+                         int width) {
+  width = std::max(8, width);
+  std::string out;
+  char buf[160];
+
+  std::map<std::string, char> letters;
+  std::vector<std::pair<std::string, char>> legend;
+  for (const Task& t : graph.tasks) {
+    if (letters.count(t.stage)) continue;
+    const char letter = stage_letter(legend.size());
+    letters[t.stage] = letter;
+    legend.emplace_back(t.stage, letter);
+  }
+
+  std::snprintf(buf, sizeof buf,
+                "gantt: %d proc%s, makespan %.6fs, %d task%s, %d col%s\n",
+                schedule.procs, schedule.procs == 1 ? "" : "s",
+                schedule.makespan,
+                static_cast<int>(graph.tasks.size()),
+                graph.tasks.size() == 1 ? "" : "s", width,
+                width == 1 ? "" : "s");
+  out += buf;
+  if (schedule.makespan <= 0) return out;
+
+  // Per-processor placements in start order.
+  std::vector<std::vector<const Placement*>> rows(schedule.procs);
+  for (const Placement& p : schedule.placements) rows[p.proc].push_back(&p);
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const Placement* a, const Placement* b) {
+                return a->start < b->start;
+              });
+  }
+
+  const double dt = schedule.makespan / width;
+  for (int proc = 0; proc < schedule.procs; ++proc) {
+    std::string cells(static_cast<std::size_t>(width), '.');
+    std::size_t cursor = 0;
+    for (int col = 0; col < width; ++col) {
+      const double t = (col + 0.5) * dt;
+      while (cursor < rows[proc].size() && rows[proc][cursor]->end <= t) {
+        ++cursor;
+      }
+      if (cursor < rows[proc].size() && rows[proc][cursor]->start <= t) {
+        cells[static_cast<std::size_t>(col)] =
+            letters[graph.tasks[rows[proc][cursor]->task].stage];
+      }
+    }
+    const double busy = schedule.busy[proc];
+    std::snprintf(buf, sizeof buf, "p%02d |%s| %5.1f%%\n", proc,
+                  cells.c_str(),
+                  schedule.makespan > 0 ? 100.0 * busy / schedule.makespan
+                                        : 0.0);
+    out += buf;
+  }
+
+  out += "legend:";
+  for (const auto& [stage, letter] : legend) {
+    out += ' ';
+    out += letter;
+    out += '=';
+    out += stage;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace acx::sched

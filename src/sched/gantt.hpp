@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "sched/simulator.hpp"
+
+namespace acx::sched {
+
+// Text Gantt chart of a simulated schedule: one row per virtual
+// processor, time scaled to `width` columns, each column showing the
+// stage letter of the task running at that column's midpoint ('.' =
+// idle), followed by a stage-letter legend and per-processor busy
+// shares. Output is a pure function of (graph, schedule, width).
+std::string render_gantt(const TaskGraph& graph, const Schedule& schedule,
+                         int width = 96);
+
+}  // namespace acx::sched

@@ -1,0 +1,276 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace acx::sched {
+
+double TaskGraph::work() const {
+  double sum = 0;
+  for (const Task& t : tasks) sum += t.seconds;
+  return sum;
+}
+
+std::vector<double> TaskGraph::critical_paths() const {
+  const int n = static_cast<int>(tasks.size());
+  std::vector<std::vector<int>> dependents(n);
+  for (int i = 0; i < n; ++i) {
+    for (const int dep : tasks[i].deps) dependents[dep].push_back(i);
+  }
+  // Tasks are topologically ordered (deps index earlier tasks), so one
+  // reverse pass settles every path.
+  std::vector<double> cp(n, 0);
+  for (int i = n - 1; i >= 0; --i) {
+    double tail = 0;
+    for (const int j : dependents[i]) tail = std::max(tail, cp[j]);
+    cp[i] = tasks[i].seconds + tail;
+  }
+  return cp;
+}
+
+double TaskGraph::span() const {
+  double longest = 0;
+  for (const double c : critical_paths()) longest = std::max(longest, c);
+  return longest;
+}
+
+namespace {
+
+// Records in model order (already sorted by id) and plan stages in
+// declaration order, restricted to (record, stage) pairs the model has
+// a cost for.
+struct PlannedTask {
+  const RecordCosts* record;
+  const pipeline::StageShape* stage;
+  double seconds;
+};
+
+std::vector<PlannedTask> planned_tasks(
+    const CostModel& model, const std::vector<pipeline::StageShape>& plan,
+    bool record_major) {
+  std::vector<PlannedTask> out;
+  auto emit = [&](const RecordCosts& r, const pipeline::StageShape& s) {
+    auto it = r.stage_seconds.find(s.name);
+    if (it != r.stage_seconds.end()) out.push_back({&r, &s, it->second});
+  };
+  if (record_major) {
+    for (const RecordCosts& r : model.records) {
+      for (const pipeline::StageShape& s : plan) emit(r, s);
+    }
+  } else {
+    for (const pipeline::StageShape& s : plan) {
+      for (const RecordCosts& r : model.records) emit(r, s);
+    }
+  }
+  return out;
+}
+
+std::string task_id(const PlannedTask& t) {
+  return t.record->record + "/" + t.stage->name;
+}
+
+}  // namespace
+
+TaskGraph serial_graph(const CostModel& model,
+                       const std::vector<pipeline::StageShape>& plan) {
+  TaskGraph g;
+  for (const PlannedTask& t :
+       planned_tasks(model, plan, /*record_major=*/true)) {
+    Task task{task_id(t), t.record->record, t.stage->name, t.seconds, {}};
+    if (!g.tasks.empty()) {
+      task.deps.push_back(static_cast<int>(g.tasks.size()) - 1);
+    }
+    g.tasks.push_back(std::move(task));
+  }
+  return g;
+}
+
+TaskGraph barrier_graph(const CostModel& model,
+                        const std::vector<pipeline::StageShape>& plan) {
+  TaskGraph g;
+  std::vector<int> previous_stage;  // task indices of the last stage
+  for (const pipeline::StageShape& s : plan) {
+    std::vector<int> current;
+    for (const RecordCosts& r : model.records) {
+      auto it = r.stage_seconds.find(s.name);
+      if (it == r.stage_seconds.end()) continue;
+      Task task{r.record + "/" + s.name, r.record, s.name, it->second,
+                previous_stage};
+      if (!s.parallel_safe && !current.empty()) {
+        task.deps.push_back(current.back());
+      }
+      current.push_back(static_cast<int>(g.tasks.size()));
+      g.tasks.push_back(std::move(task));
+    }
+    if (!current.empty()) previous_stage = std::move(current);
+  }
+  return g;
+}
+
+TaskGraph record_graph(const CostModel& model,
+                       const std::vector<pipeline::StageShape>& plan,
+                       const GraphOptions& opt) {
+  TaskGraph g;
+  for (const RecordCosts& r : model.records) {
+    // Task indices of each stage this record actually runs; a split
+    // stage owns several.
+    std::map<std::string, std::vector<int>> by_stage;
+    for (const pipeline::StageShape& s : plan) {
+      auto it = r.stage_seconds.find(s.name);
+      if (it == r.stage_seconds.end()) continue;
+      // Resolve dependency names to task indices; a dep the record
+      // never ran (pruned or shed) falls through to its own deps so
+      // the chain stays connected.
+      std::vector<int> deps;
+      std::vector<const pipeline::StageShape*> frontier;
+      auto find_shape = [&](const std::string& name)
+          -> const pipeline::StageShape* {
+        for (const pipeline::StageShape& candidate : plan) {
+          if (candidate.name == name) return &candidate;
+        }
+        return nullptr;
+      };
+      for (const std::string& dep : s.deps) {
+        if (const pipeline::StageShape* shape = find_shape(dep)) {
+          frontier.push_back(shape);
+        }
+      }
+      while (!frontier.empty()) {
+        const pipeline::StageShape* shape = frontier.back();
+        frontier.pop_back();
+        auto ran = by_stage.find(shape->name);
+        if (ran != by_stage.end()) {
+          deps.insert(deps.end(), ran->second.begin(), ran->second.end());
+          continue;
+        }
+        for (const std::string& dep : shape->deps) {
+          if (const pipeline::StageShape* parent = find_shape(dep)) {
+            frontier.push_back(parent);
+          }
+        }
+      }
+      std::sort(deps.begin(), deps.end());
+      deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+      const bool split = s.name == opt.split_stage && opt.split > 1;
+      const int chunks = split ? opt.split : 1;
+      std::vector<int>& mine = by_stage[s.name];
+      for (int k = 0; k < chunks; ++k) {
+        Task task{r.record + "/" + s.name, r.record, s.name,
+                  it->second / chunks, deps};
+        if (split) {
+          task.id.push_back('#');
+          task.id += std::to_string(k);
+        }
+        mine.push_back(static_cast<int>(g.tasks.size()));
+        g.tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph stage_graph(const CostModel& model, const std::string& stage,
+                      const GraphOptions& opt) {
+  TaskGraph g;
+  const bool split = stage == opt.split_stage && opt.split > 1;
+  const int chunks = split ? opt.split : 1;
+  for (const RecordCosts& r : model.records) {
+    auto it = r.stage_seconds.find(stage);
+    if (it == r.stage_seconds.end()) continue;
+    for (int k = 0; k < chunks; ++k) {
+      Task task{r.record + "/" + stage, r.record, stage,
+                it->second / chunks, {}};
+      if (split) {
+        task.id.push_back('#');
+        task.id += std::to_string(k);
+      }
+      g.tasks.push_back(std::move(task));
+    }
+  }
+  return g;
+}
+
+Schedule list_schedule(const TaskGraph& graph, int procs,
+                       std::uint64_t seed) {
+  Schedule schedule;
+  schedule.procs = std::max(1, procs);
+  schedule.busy.assign(schedule.procs, 0.0);
+  const int n = static_cast<int>(graph.tasks.size());
+  if (n == 0) return schedule;
+
+  const std::vector<double> cp = graph.critical_paths();
+  // Seeded tie-break: a per-task hash mixed from the run seed and the
+  // task id. Deterministic for a given (graph, seed); no two tasks of
+  // one graph compare fully equal because the final key is the id.
+  std::vector<std::uint64_t> salt(n);
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t state = seed ^ fnv1a64(graph.tasks[i].id);
+    salt[i] = splitmix64(state);
+  }
+  auto before = [&](int a, int b) {
+    if (cp[a] != cp[b]) return cp[a] > cp[b];
+    if (salt[a] != salt[b]) return salt[a] < salt[b];
+    if (graph.tasks[a].id != graph.tasks[b].id) {
+      return graph.tasks[a].id < graph.tasks[b].id;
+    }
+    return a < b;
+  };
+
+  std::vector<std::vector<int>> dependents(n);
+  std::vector<int> missing_deps(n, 0);
+  for (int i = 0; i < n; ++i) {
+    missing_deps[i] = static_cast<int>(graph.tasks[i].deps.size());
+    for (const int dep : graph.tasks[i].deps) dependents[dep].push_back(i);
+  }
+
+  std::set<int, decltype(before)> ready(before);
+  for (int i = 0; i < n; ++i) {
+    if (missing_deps[i] == 0) ready.insert(i);
+  }
+  std::set<int> idle;
+  for (int p = 0; p < schedule.procs; ++p) idle.insert(p);
+
+  // (end, task, proc) min-heap of running tasks; equal end times pop in
+  // task order, keeping the event order deterministic.
+  using Running = std::tuple<double, int, int>;
+  std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
+      running;
+
+  double now = 0;
+  int completed = 0;
+  while (completed < n) {
+    while (!ready.empty() && !idle.empty()) {
+      const int task = *ready.begin();
+      ready.erase(ready.begin());
+      const int proc = *idle.begin();
+      idle.erase(idle.begin());
+      const double end = now + graph.tasks[task].seconds;
+      schedule.placements.push_back({task, proc, now, end});
+      schedule.busy[proc] += graph.tasks[task].seconds;
+      running.emplace(end, task, proc);
+    }
+    // Advance to the next completion and drain every event at that
+    // instant before assigning again, so simultaneous completions
+    // release their dependents together.
+    if (running.empty()) break;  // cyclic graph; builders never emit one
+    now = std::get<0>(running.top());
+    while (!running.empty() && std::get<0>(running.top()) == now) {
+      const auto [end, task, proc] = running.top();
+      running.pop();
+      idle.insert(proc);
+      ++completed;
+      for (const int dependent : dependents[task]) {
+        if (--missing_deps[dependent] == 0) ready.insert(dependent);
+      }
+    }
+    schedule.makespan = std::max(schedule.makespan, now);
+  }
+  return schedule;
+}
+
+}  // namespace acx::sched

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/graph.hpp"
+#include "sched/cost_model.hpp"
+
+namespace acx::sched {
+
+// One modeled unit of work: a (record, stage) pair, or one chunk of a
+// split stage ("SS01l/response#3"). `deps` index earlier tasks — every
+// graph builder emits tasks in topological order.
+struct Task {
+  std::string id;
+  std::string record;
+  std::string stage;
+  double seconds = 0;
+  std::vector<int> deps;
+};
+
+// A task DAG plus the work/span (critical-path) analysis over it.
+struct TaskGraph {
+  std::vector<Task> tasks;
+
+  // T1: total work, the sum of every task's cost.
+  double work() const;
+  // T-infinity: the longest dependency chain, by summed cost.
+  double span() const;
+  // Critical-path-to-exit per task (own cost included) — the priority
+  // key of the list scheduler.
+  std::vector<double> critical_paths() const;
+};
+
+// How the full driver's graph models the nested Stage-IX parallelism:
+// the named stage's cost is split into `split` equal chunks that may
+// run on any idle virtual processor (the paper's nested `omp for` over
+// the response-period grid). split <= 1 disables splitting.
+struct GraphOptions {
+  std::string split_stage = "response";
+  int split = 1;
+};
+
+// Sequential drivers: every task chained in execution order (records
+// by id, stages in plan order) — the makespan is the summed work, on
+// any processor count, exactly like the real drivers.
+TaskGraph serial_graph(const CostModel& model,
+                       const std::vector<pipeline::StageShape>& plan);
+
+// Partial driver: stage-by-stage fan-out with a barrier between
+// stages — every task of stage k depends on every task of stage k-1.
+// A stage that is not parallel_safe additionally chains its own tasks.
+TaskGraph barrier_graph(const CostModel& model,
+                        const std::vector<pipeline::StageShape>& plan);
+
+// Full driver: true per-record dependency edges from the stage graph,
+// with the split stage fanned into chunks (GraphOptions). A dependency
+// on a stage the record has no cost for (pruned, or shed on a degraded
+// record) falls through to that stage's own dependencies.
+TaskGraph record_graph(const CostModel& model,
+                       const std::vector<pipeline::StageShape>& plan,
+                       const GraphOptions& opt);
+
+// One stage in isolation (its tasks only, no deps, split applied when
+// the stage is opt.split_stage) — the per-stage Fig. 11 model.
+TaskGraph stage_graph(const CostModel& model, const std::string& stage,
+                      const GraphOptions& opt);
+
+struct Placement {
+  int task = 0;
+  int proc = 0;
+  double start = 0;
+  double end = 0;
+};
+
+struct Schedule {
+  int procs = 1;
+  double makespan = 0;
+  std::vector<Placement> placements;  // in assignment order
+  std::vector<double> busy;           // busy seconds per processor
+};
+
+// Deterministic greedy list scheduling on `procs` virtual processors:
+// whenever a processor is idle and tasks are ready, the ready task with
+// the longest critical path starts on the lowest-numbered idle
+// processor. Ties on the critical path break on a seeded per-task hash,
+// then on task id — no wall clock, no global state, so the same
+// (graph, procs, seed) always yields the same schedule, byte for byte.
+Schedule list_schedule(const TaskGraph& graph, int procs,
+                       std::uint64_t seed);
+
+}  // namespace acx::sched

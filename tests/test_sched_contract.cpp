@@ -1,0 +1,185 @@
+// docs/SCHED.md is executable: its worked example (3 records x 4
+// stages on P = 2) is rebuilt here verbatim and every number in the
+// doc's two tables is asserted against analyze(). Work, span,
+// makespan, and Brent bounds must match to exact double equality;
+// speedups and shares to the doc's four printed decimals. If the
+// simulator or the doc drifts, this suite names the row that moved.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sched/analysis.hpp"
+#include "util/fs.hpp"
+
+#ifndef ACX_SOURCE_DIR
+#error "test_sched_contract needs ACX_SOURCE_DIR pointing at the repo root"
+#endif
+
+namespace acx::sched {
+namespace {
+
+// The doc's miniature pipeline, transcribed.
+CostModel worked_model() {
+  CostModel model;
+  model.source = "docs/SCHED.md worked example";
+  auto add = [&](const char* id, double ingest, double audit, double filter,
+                 double publish) {
+    RecordCosts r;
+    r.record = id;
+    r.points = 100;
+    r.stage_seconds = {{"ingest", ingest},
+                      {"audit", audit},
+                      {"filter", filter},
+                      {"publish", publish}};
+    model.records.push_back(std::move(r));
+  };
+  add("r1", 4, 2, 6, 3);
+  add("r2", 3, 2, 5, 2);
+  add("r3", 2, 2, 3, 1);
+  return model;
+}
+
+std::vector<pipeline::StageShape> worked_shape() {
+  return {
+      {"ingest", {}, /*redundant=*/false, /*parallel_safe=*/true,
+       /*sheddable=*/false},
+      {"audit", {"ingest"}, true, true, false},
+      {"filter", {"ingest"}, false, true, false},
+      {"publish", {"filter"}, false, true, false},
+  };
+}
+
+SchedModel worked_result() {
+  AnalysisOptions opt;
+  opt.procs = 2;
+  opt.seed = 12450;
+  auto res = analyze(worked_model(), worked_shape(), opt);
+  EXPECT_TRUE(res.ok()) << (res.ok() ? "" : res.error());
+  return std::move(res).take();
+}
+
+std::string read_doc() {
+  RealFileSystem fs;
+  auto doc = fs.read_file(std::filesystem::path(ACX_SOURCE_DIR) / "docs" /
+                          "SCHED.md");
+  EXPECT_TRUE(doc.ok()) << "docs/SCHED.md must exist";
+  return doc.ok() ? doc.value() : std::string();
+}
+
+// Parse "| label | v1 | v2 | ... |" out of the doc's markdown tables.
+// Returns the cells after the label of the first row whose first cell
+// is exactly `label`.
+bool find_table_row(const std::string& doc, const std::string& label,
+                    std::vector<double>& cells) {
+  std::size_t pos = 0;
+  const std::string lead = "| " + label + " |";
+  while ((pos = doc.find(lead, pos)) != std::string::npos) {
+    if (pos != 0 && doc[pos - 1] != '\n') {
+      ++pos;
+      continue;
+    }
+    cells.clear();
+    const char* s = doc.c_str() + pos + lead.size();
+    while (*s && *s != '\n') {
+      char* end = nullptr;
+      const double value = std::strtod(s, &end);
+      if (end == s) {
+        ++s;
+        continue;
+      }
+      cells.push_back(value);
+      s = end;
+    }
+    return !cells.empty();
+  }
+  return false;
+}
+
+TEST(SchedContract, DriverTableMatchesDoc) {
+  const std::string doc = read_doc();
+  ASSERT_FALSE(doc.empty());
+  const SchedModel result = worked_result();
+  ASSERT_EQ(result.anchor, "seq");
+
+  for (const char* name : {"seq", "seq-opt", "partial", "full"}) {
+    const DriverModel* d = result.driver(name);
+    ASSERT_NE(d, nullptr) << name;
+    std::vector<double> cells;
+    ASSERT_TRUE(find_table_row(doc, name, cells))
+        << "docs/SCHED.md lacks a driver row for " << name;
+    ASSERT_EQ(cells.size(), 6u) << name;
+    // work, span, makespan, brent lo, brent hi: exact equality (the
+    // doc prints them as exact decimals).
+    EXPECT_EQ(d->work, cells[0]) << name << " work";
+    EXPECT_EQ(d->span, cells[1]) << name << " span";
+    EXPECT_EQ(d->makespan, cells[2]) << name << " makespan";
+    EXPECT_EQ(d->brent_lower, cells[3]) << name << " brent lower";
+    EXPECT_EQ(d->brent_upper, cells[4]) << name << " brent upper";
+    // Speedup: the doc prints four decimals.
+    EXPECT_NEAR(d->speedup, cells[5], 0.5e-4) << name << " speedup";
+    // And the bounds themselves must hold.
+    EXPECT_LE(d->brent_lower, d->makespan) << name;
+    EXPECT_LE(d->makespan, d->brent_upper) << name;
+  }
+}
+
+TEST(SchedContract, StageTableMatchesDoc) {
+  const std::string doc = read_doc();
+  ASSERT_FALSE(doc.empty());
+  const SchedModel result = worked_result();
+
+  ASSERT_EQ(result.stages.size(), 4u);
+  for (const StageModel& s : result.stages) {
+    std::vector<double> cells;
+    ASSERT_TRUE(find_table_row(doc, s.stage, cells))
+        << "docs/SCHED.md lacks a stage row for " << s.stage;
+    ASSERT_EQ(cells.size(), 5u) << s.stage;
+    EXPECT_EQ(static_cast<double>(s.tasks), cells[0]) << s.stage;
+    EXPECT_EQ(s.seq_seconds, cells[1]) << s.stage << " seq seconds";
+    EXPECT_NEAR(s.share, cells[2], 0.5e-4) << s.stage << " share";
+    EXPECT_EQ(s.modeled_seconds, cells[3]) << s.stage << " modeled";
+    EXPECT_NEAR(s.speedup, cells[4], 0.5e-4) << s.stage << " speedup";
+  }
+  EXPECT_TRUE(result.stages[1].redundant);  // audit
+}
+
+TEST(SchedContract, WorkedExampleIsSeedInsensitive) {
+  // The doc promises no critical-path ties arise, so any seed must
+  // produce the same makespans.
+  AnalysisOptions opt;
+  opt.procs = 2;
+  const SchedModel base = worked_result();
+  for (const std::uint64_t seed : {1ull, 42ull, 999999937ull}) {
+    opt.seed = seed;
+    auto res = analyze(worked_model(), worked_shape(), opt);
+    ASSERT_TRUE(res.ok());
+    for (const DriverModel& d : res.value().drivers) {
+      const DriverModel* ref = base.driver(d.driver);
+      ASSERT_NE(ref, nullptr);
+      EXPECT_EQ(d.makespan, ref->makespan) << d.driver << " seed " << seed;
+    }
+  }
+}
+
+TEST(SchedContract, JsonIsByteStableAndCarriesDocumentedKeys) {
+  const SchedModel result = worked_result();
+  const std::string a = result.to_json().dump(2);
+  const std::string b = worked_result().to_json().dump(2);
+  EXPECT_EQ(a, b);
+  for (const char* key :
+       {"\"version\"", "\"tool\"", "\"procs\"", "\"seed\"",
+        "\"response_split\"", "\"anchor\"", "\"source\"", "\"records\"",
+        "\"points\"", "\"excluded\"", "\"flagged\"", "\"measured\"",
+        "\"drivers\"", "\"work\"", "\"span\"", "\"makespan\"",
+        "\"brent_lower\"", "\"brent_upper\"", "\"speedup\"", "\"stages\"",
+        "\"share\"", "\"modeled_seconds\"", "\"sweep\""}) {
+    EXPECT_NE(a.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace acx::sched
