@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spectrum.dir/bench_spectrum.cpp.o"
+  "CMakeFiles/bench_spectrum.dir/bench_spectrum.cpp.o.d"
+  "bench_spectrum"
+  "bench_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acx_formats.dir/formats/record_io.cpp.o"
+  "CMakeFiles/acx_formats.dir/formats/record_io.cpp.o.d"
+  "CMakeFiles/acx_formats.dir/formats/spectra_io.cpp.o"
+  "CMakeFiles/acx_formats.dir/formats/spectra_io.cpp.o.d"
+  "libacx_formats.a"
+  "libacx_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acx_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

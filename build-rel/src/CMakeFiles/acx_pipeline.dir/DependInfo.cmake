@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/batch.cpp" "src/CMakeFiles/acx_pipeline.dir/pipeline/batch.cpp.o" "gcc" "src/CMakeFiles/acx_pipeline.dir/pipeline/batch.cpp.o.d"
+  "/root/repo/src/pipeline/executor.cpp" "src/CMakeFiles/acx_pipeline.dir/pipeline/executor.cpp.o" "gcc" "src/CMakeFiles/acx_pipeline.dir/pipeline/executor.cpp.o.d"
+  "/root/repo/src/pipeline/graph.cpp" "src/CMakeFiles/acx_pipeline.dir/pipeline/graph.cpp.o" "gcc" "src/CMakeFiles/acx_pipeline.dir/pipeline/graph.cpp.o.d"
+  "/root/repo/src/pipeline/report.cpp" "src/CMakeFiles/acx_pipeline.dir/pipeline/report.cpp.o" "gcc" "src/CMakeFiles/acx_pipeline.dir/pipeline/report.cpp.o.d"
+  "/root/repo/src/pipeline/runner.cpp" "src/CMakeFiles/acx_pipeline.dir/pipeline/runner.cpp.o" "gcc" "src/CMakeFiles/acx_pipeline.dir/pipeline/runner.cpp.o.d"
+  "/root/repo/src/pipeline/scheduler.cpp" "src/CMakeFiles/acx_pipeline.dir/pipeline/scheduler.cpp.o" "gcc" "src/CMakeFiles/acx_pipeline.dir/pipeline/scheduler.cpp.o.d"
+  "/root/repo/src/pipeline/stages.cpp" "src/CMakeFiles/acx_pipeline.dir/pipeline/stages.cpp.o" "gcc" "src/CMakeFiles/acx_pipeline.dir/pipeline/stages.cpp.o.d"
+  "/root/repo/src/pipeline/validate.cpp" "src/CMakeFiles/acx_pipeline.dir/pipeline/validate.cpp.o" "gcc" "src/CMakeFiles/acx_pipeline.dir/pipeline/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/acx_formats.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/acx_signal.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/acx_spectrum.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/acx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acx_pipeline.dir/pipeline/batch.cpp.o"
+  "CMakeFiles/acx_pipeline.dir/pipeline/batch.cpp.o.d"
+  "CMakeFiles/acx_pipeline.dir/pipeline/executor.cpp.o"
+  "CMakeFiles/acx_pipeline.dir/pipeline/executor.cpp.o.d"
+  "CMakeFiles/acx_pipeline.dir/pipeline/graph.cpp.o"
+  "CMakeFiles/acx_pipeline.dir/pipeline/graph.cpp.o.d"
+  "CMakeFiles/acx_pipeline.dir/pipeline/report.cpp.o"
+  "CMakeFiles/acx_pipeline.dir/pipeline/report.cpp.o.d"
+  "CMakeFiles/acx_pipeline.dir/pipeline/runner.cpp.o"
+  "CMakeFiles/acx_pipeline.dir/pipeline/runner.cpp.o.d"
+  "CMakeFiles/acx_pipeline.dir/pipeline/scheduler.cpp.o"
+  "CMakeFiles/acx_pipeline.dir/pipeline/scheduler.cpp.o.d"
+  "CMakeFiles/acx_pipeline.dir/pipeline/stages.cpp.o"
+  "CMakeFiles/acx_pipeline.dir/pipeline/stages.cpp.o.d"
+  "CMakeFiles/acx_pipeline.dir/pipeline/validate.cpp.o"
+  "CMakeFiles/acx_pipeline.dir/pipeline/validate.cpp.o.d"
+  "libacx_pipeline.a"
+  "libacx_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acx_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

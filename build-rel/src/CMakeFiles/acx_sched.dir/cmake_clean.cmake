@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acx_sched.dir/sched/analysis.cpp.o"
+  "CMakeFiles/acx_sched.dir/sched/analysis.cpp.o.d"
+  "CMakeFiles/acx_sched.dir/sched/cost_model.cpp.o"
+  "CMakeFiles/acx_sched.dir/sched/cost_model.cpp.o.d"
+  "CMakeFiles/acx_sched.dir/sched/gantt.cpp.o"
+  "CMakeFiles/acx_sched.dir/sched/gantt.cpp.o.d"
+  "CMakeFiles/acx_sched.dir/sched/simulator.cpp.o"
+  "CMakeFiles/acx_sched.dir/sched/simulator.cpp.o.d"
+  "libacx_sched.a"
+  "libacx_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acx_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacx_sched.a"
+)

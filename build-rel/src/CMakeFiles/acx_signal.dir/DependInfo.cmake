@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/baseline.cpp" "src/CMakeFiles/acx_signal.dir/signal/baseline.cpp.o" "gcc" "src/CMakeFiles/acx_signal.dir/signal/baseline.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/CMakeFiles/acx_signal.dir/signal/fft.cpp.o" "gcc" "src/CMakeFiles/acx_signal.dir/signal/fft.cpp.o.d"
+  "/root/repo/src/signal/fft_plan.cpp" "src/CMakeFiles/acx_signal.dir/signal/fft_plan.cpp.o" "gcc" "src/CMakeFiles/acx_signal.dir/signal/fft_plan.cpp.o.d"
+  "/root/repo/src/signal/fir.cpp" "src/CMakeFiles/acx_signal.dir/signal/fir.cpp.o" "gcc" "src/CMakeFiles/acx_signal.dir/signal/fir.cpp.o.d"
+  "/root/repo/src/signal/integrate.cpp" "src/CMakeFiles/acx_signal.dir/signal/integrate.cpp.o" "gcc" "src/CMakeFiles/acx_signal.dir/signal/integrate.cpp.o.d"
+  "/root/repo/src/signal/peaks.cpp" "src/CMakeFiles/acx_signal.dir/signal/peaks.cpp.o" "gcc" "src/CMakeFiles/acx_signal.dir/signal/peaks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/acx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acx_signal.dir/signal/baseline.cpp.o"
+  "CMakeFiles/acx_signal.dir/signal/baseline.cpp.o.d"
+  "CMakeFiles/acx_signal.dir/signal/fft.cpp.o"
+  "CMakeFiles/acx_signal.dir/signal/fft.cpp.o.d"
+  "CMakeFiles/acx_signal.dir/signal/fft_plan.cpp.o"
+  "CMakeFiles/acx_signal.dir/signal/fft_plan.cpp.o.d"
+  "CMakeFiles/acx_signal.dir/signal/fir.cpp.o"
+  "CMakeFiles/acx_signal.dir/signal/fir.cpp.o.d"
+  "CMakeFiles/acx_signal.dir/signal/integrate.cpp.o"
+  "CMakeFiles/acx_signal.dir/signal/integrate.cpp.o.d"
+  "CMakeFiles/acx_signal.dir/signal/peaks.cpp.o"
+  "CMakeFiles/acx_signal.dir/signal/peaks.cpp.o.d"
+  "libacx_signal.a"
+  "libacx_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acx_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectrum/corners.cpp" "src/CMakeFiles/acx_spectrum.dir/spectrum/corners.cpp.o" "gcc" "src/CMakeFiles/acx_spectrum.dir/spectrum/corners.cpp.o.d"
+  "/root/repo/src/spectrum/fourier.cpp" "src/CMakeFiles/acx_spectrum.dir/spectrum/fourier.cpp.o" "gcc" "src/CMakeFiles/acx_spectrum.dir/spectrum/fourier.cpp.o.d"
+  "/root/repo/src/spectrum/response.cpp" "src/CMakeFiles/acx_spectrum.dir/spectrum/response.cpp.o" "gcc" "src/CMakeFiles/acx_spectrum.dir/spectrum/response.cpp.o.d"
+  "/root/repo/src/spectrum/response_plan.cpp" "src/CMakeFiles/acx_spectrum.dir/spectrum/response_plan.cpp.o" "gcc" "src/CMakeFiles/acx_spectrum.dir/spectrum/response_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-rel/src/CMakeFiles/acx_signal.dir/DependInfo.cmake"
+  "/root/repo/build-rel/src/CMakeFiles/acx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

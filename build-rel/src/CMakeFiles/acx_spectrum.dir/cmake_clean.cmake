@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acx_spectrum.dir/spectrum/corners.cpp.o"
+  "CMakeFiles/acx_spectrum.dir/spectrum/corners.cpp.o.d"
+  "CMakeFiles/acx_spectrum.dir/spectrum/fourier.cpp.o"
+  "CMakeFiles/acx_spectrum.dir/spectrum/fourier.cpp.o.d"
+  "CMakeFiles/acx_spectrum.dir/spectrum/response.cpp.o"
+  "CMakeFiles/acx_spectrum.dir/spectrum/response.cpp.o.d"
+  "CMakeFiles/acx_spectrum.dir/spectrum/response_plan.cpp.o"
+  "CMakeFiles/acx_spectrum.dir/spectrum/response_plan.cpp.o.d"
+  "libacx_spectrum.a"
+  "libacx_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acx_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

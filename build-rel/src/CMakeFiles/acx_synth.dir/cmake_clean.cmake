@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acx_synth.dir/synth/synth.cpp.o"
+  "CMakeFiles/acx_synth.dir/synth/synth.cpp.o.d"
+  "libacx_synth.a"
+  "libacx_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acx_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/breaker.cpp" "src/CMakeFiles/acx_util.dir/util/breaker.cpp.o" "gcc" "src/CMakeFiles/acx_util.dir/util/breaker.cpp.o.d"
+  "/root/repo/src/util/faultfs.cpp" "src/CMakeFiles/acx_util.dir/util/faultfs.cpp.o" "gcc" "src/CMakeFiles/acx_util.dir/util/faultfs.cpp.o.d"
+  "/root/repo/src/util/fs.cpp" "src/CMakeFiles/acx_util.dir/util/fs.cpp.o" "gcc" "src/CMakeFiles/acx_util.dir/util/fs.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/acx_util.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/acx_util.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/slowfs.cpp" "src/CMakeFiles/acx_util.dir/util/slowfs.cpp.o" "gcc" "src/CMakeFiles/acx_util.dir/util/slowfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acx_util.dir/util/breaker.cpp.o"
+  "CMakeFiles/acx_util.dir/util/breaker.cpp.o.d"
+  "CMakeFiles/acx_util.dir/util/faultfs.cpp.o"
+  "CMakeFiles/acx_util.dir/util/faultfs.cpp.o.d"
+  "CMakeFiles/acx_util.dir/util/fs.cpp.o"
+  "CMakeFiles/acx_util.dir/util/fs.cpp.o.d"
+  "CMakeFiles/acx_util.dir/util/json.cpp.o"
+  "CMakeFiles/acx_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/acx_util.dir/util/slowfs.cpp.o"
+  "CMakeFiles/acx_util.dir/util/slowfs.cpp.o.d"
+  "libacx_util.a"
+  "libacx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

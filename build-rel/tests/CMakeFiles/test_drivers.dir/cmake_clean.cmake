@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drivers.dir/test_drivers.cpp.o"
+  "CMakeFiles/test_drivers.dir/test_drivers.cpp.o.d"
+  "test_drivers"
+  "test_drivers.pdb"
+  "test_drivers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faultfs.dir/test_faultfs.cpp.o"
+  "CMakeFiles/test_faultfs.dir/test_faultfs.cpp.o.d"
+  "test_faultfs"
+  "test_faultfs.pdb"
+  "test_faultfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faultfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

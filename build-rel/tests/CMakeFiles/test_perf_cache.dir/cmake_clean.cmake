@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_cache.dir/test_perf_cache.cpp.o"
+  "CMakeFiles/test_perf_cache.dir/test_perf_cache.cpp.o.d"
+  "test_perf_cache"
+  "test_perf_cache.pdb"
+  "test_perf_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reasons.dir/test_reasons.cpp.o"
+  "CMakeFiles/test_reasons.dir/test_reasons.cpp.o.d"
+  "test_reasons"
+  "test_reasons.pdb"
+  "test_reasons[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reasons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

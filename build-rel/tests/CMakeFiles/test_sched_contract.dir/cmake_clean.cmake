@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_contract.dir/test_sched_contract.cpp.o"
+  "CMakeFiles/test_sched_contract.dir/test_sched_contract.cpp.o.d"
+  "test_sched_contract"
+  "test_sched_contract.pdb"
+  "test_sched_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-rel/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-rel/tests/test_util[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_faultfs[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_formats[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_synth[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_drivers[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_signal[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_spectrum[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_reasons[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_perf_cache[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_contract[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_sched[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_sched_contract[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_storage[1]_include.cmake")
+include("/root/repo/build-rel/tests/test_batch[1]_include.cmake")
+add_test(docs.check_references "bash" "/root/repo/scripts/check_docs.sh")
+set_tests_properties(docs.check_references PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")

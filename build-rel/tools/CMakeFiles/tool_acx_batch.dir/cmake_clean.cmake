@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_acx_batch.dir/acx_batch.cpp.o"
+  "CMakeFiles/tool_acx_batch.dir/acx_batch.cpp.o.d"
+  "acx_batch"
+  "acx_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_acx_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_acx_process.dir/acx_process.cpp.o"
+  "CMakeFiles/tool_acx_process.dir/acx_process.cpp.o.d"
+  "acx_process"
+  "acx_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_acx_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

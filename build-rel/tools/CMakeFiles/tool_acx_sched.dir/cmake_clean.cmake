@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_acx_sched.dir/acx_sched.cpp.o"
+  "CMakeFiles/tool_acx_sched.dir/acx_sched.cpp.o.d"
+  "acx_sched"
+  "acx_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_acx_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

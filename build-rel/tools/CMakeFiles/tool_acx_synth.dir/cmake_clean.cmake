@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_acx_synth.dir/acx_synth.cpp.o"
+  "CMakeFiles/tool_acx_synth.dir/acx_synth.cpp.o.d"
+  "acx_synth"
+  "acx_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_acx_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tool_acx_synth.
+# This may be replaced when dependencies are built.

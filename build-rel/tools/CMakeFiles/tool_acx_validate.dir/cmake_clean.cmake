@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_acx_validate.dir/acx_validate.cpp.o"
+  "CMakeFiles/tool_acx_validate.dir/acx_validate.cpp.o.d"
+  "acx_validate"
+  "acx_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_acx_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
