@@ -1,0 +1,113 @@
+// Resident-pool economics: what one event's record fan-out costs when
+// dispatched onto the already-running WorkPool, versus paying thread
+// -team construction per event. Three shapes:
+//   serve.pool_dispatch     — persistent pool, one TaskGroup per
+//                             "event" of synthetic record tasks: the
+//                             steady-state per-event dispatch cost of
+//                             the resident service. Gated in
+//                             bench/baseline.json.
+//   serve.omp_spin_up       — the same task batch as a fresh OpenMP
+//                             parallel-for with the thread team forced
+//                             to tear down between iterations
+//                             (omp_pause_resource_all), i.e. what a
+//                             per-run process pays on a cold team.
+//                             docs/SERVE.md quotes the ratio.
+//   serve.omp_warm          — the same loop on a warm, kept-alive team:
+//                             the best case OpenMP reaches once its
+//                             team persists (reference point between
+//                             the other two).
+// The task body is a fixed small FNV-hash kernel, so the benches
+// compare dispatch machinery, not pipeline math.
+
+#include <benchmark/benchmark.h>
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/work_pool.hpp"
+
+namespace {
+
+constexpr int kRecordsPerEvent = 16;
+constexpr int kThreads = 2;
+
+// A few microseconds of deterministic work, standing in for one record.
+std::uint64_t record_kernel(std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull ^ seed;
+  for (int i = 0; i < 4000; ++i) {
+    h ^= static_cast<std::uint64_t>(i);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void BM_ServePoolDispatch(benchmark::State& state) {
+  acx::WorkPool pool(kThreads);  // resident: constructed once, outside timing
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    acx::WorkPool::TaskGroup group(pool);
+    for (int r = 0; r < kRecordsPerEvent; ++r) {
+      group.run([&sink, r] {
+        sink.fetch_add(record_kernel(static_cast<std::uint64_t>(r)),
+                       std::memory_order_relaxed);
+      });
+    }
+    group.wait();
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * kRecordsPerEvent);
+  pool.shutdown();
+}
+
+void omp_event(std::atomic<std::uint64_t>& sink) {
+#pragma omp parallel for num_threads(kThreads) schedule(dynamic)
+  for (int r = 0; r < kRecordsPerEvent; ++r) {
+    sink.fetch_add(record_kernel(static_cast<std::uint64_t>(r)),
+                   std::memory_order_relaxed);
+  }
+}
+
+void BM_ServeOmpSpinUp(benchmark::State& state) {
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    omp_event(sink);
+    // Force the team down so the next iteration pays a cold start —
+    // the per-run process model the resident service replaces. (omp.h
+    // declares this even where _OPENMP reports 4.5: libgomp has shipped
+    // it since GCC 9, libomp since LLVM 9.)
+    omp_pause_resource_all(omp_pause_hard);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * kRecordsPerEvent);
+}
+
+void BM_ServeOmpWarm(benchmark::State& state) {
+  std::atomic<std::uint64_t> sink{0};
+  omp_event(sink);  // warm the team outside timing
+  for (auto _ : state) {
+    omp_event(sink);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * kRecordsPerEvent);
+}
+
+// Work runs on pool/team threads; the main thread's CPU clock would
+// miss it. Process CPU is the gated metric, real time the latency one.
+BENCHMARK(BM_ServePoolDispatch)
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_ServeOmpSpinUp)
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_ServeOmpWarm)
+    ->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

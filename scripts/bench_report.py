@@ -96,8 +96,8 @@ def trajectory(history_dir):
     paths = sorted(glob.glob(os.path.join(history_dir, "BENCH_*.json")),
                    key=os.path.getmtime)
     if not paths:
-        print(f"bench_report: no BENCH_*.json in {history_dir} "
-              "(trajectory is empty)")
+        print(f"bench_report: no history yet in {history_dir} "
+              "(no BENCH_*.json files; trajectory is empty)")
         return 0
     runs = []
     for path in paths:
@@ -109,6 +109,13 @@ def trajectory(history_dir):
             raise SystemExit(f"bench_report: cannot read {path}: {exc}")
 
     names = sorted({name for _, benches in runs for name in benches})
+    if not names:
+        # History files exist but none carries a measurement (e.g. a
+        # bundle seeded by runs whose bench step failed early): still a
+        # clean "nothing to plot", not a stack trace.
+        print(f"bench_report: no history yet in {history_dir} "
+              f"({len(runs)} run file(s), zero benchmarks recorded)")
+        return 0
     name_w = max(len("benchmark"), max(len(n) for n in names))
     shas = [sha for sha, _ in runs]
     col_w = max(12, max(len(s) for s in shas) + 2)

@@ -63,9 +63,26 @@ for key in version input_root work_root event_workers priority \
   fi
 done
 
-# 3b. The four driver names the docs advertise must stay the spellings
+# 3d. The serve-stats keys documented in docs/SERVE.md must still be
+#     emitted by the serve writer (the serve_stats.json schema).
+for key in version uptime_seconds driver threads event_workers capacity \
+           depth admitted served ok degraded quarantined malformed \
+           duplicates in_flight events_per_second records_per_second \
+           points_per_second cumulative_hits cumulative_misses \
+           first_event last_event trajectory hit_rate executed steals \
+           stolen_tasks injector_takes overflow parks wakes inline_runs \
+           rejected_ops opens half_open_recoveries scan_errors \
+           stats_write_failures; do
+  if ! grep -q "\"$key\"" src/pipeline/serve.cpp; then
+    echo "docs-rot: docs/SERVE.md documents serve-stats key '$key'" \
+         "but src/pipeline/serve.cpp no longer emits it" >&2
+    fail=1
+  fi
+done
+
+# 3b. The five driver names the docs advertise must stay the spellings
 #     the CLI parses (catches a rename that forgets README/PIPELINE.md).
-for d in seq seq-opt partial full; do
+for d in seq seq-opt partial full pool; do
   if ! grep -q "\"$d\"" src/pipeline/config.hpp; then
     echo "docs-rot: documented driver name '$d' is no longer parsed by" \
          "src/pipeline/config.hpp" >&2
@@ -166,6 +183,22 @@ for pair in "brent_lower:src/sched/analysis.hpp" \
   word=${pair%%:*}; where=${pair#*:}
   if ! grep -q "$word" "$where"; then
     echo "docs-rot: sched term '$word' documented in docs/SCHED.md is" \
+         "no longer defined in $where" >&2
+    fail=1
+  fi
+done
+
+# 10. The serve vocabulary docs/SERVE.md leans on must keep its anchors
+#     in the service sources (spool protocol, pool, queue semantics).
+for pair in "kServeShutdownSentinel:src/pipeline/serve.hpp" \
+            "kServeStatsFileName:src/pipeline/serve.hpp" \
+            "TaskGroup:src/util/work_pool.hpp" \
+            "take_from_injector:src/util/work_pool.cpp" \
+            "kClosed:src/util/bounded_queue.hpp" \
+            "kPool:src/pipeline/config.hpp"; do
+  word=${pair%%:*}; where=${pair#*:}
+  if ! grep -q "$word" "$where"; then
+    echo "docs-rot: serve term '$word' documented in docs/SERVE.md is" \
          "no longer defined in $where" >&2
     fail=1
   fi

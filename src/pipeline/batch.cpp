@@ -136,7 +136,7 @@ Result<BatchReport, std::string> BatchReport::from_json_text(
   report.work_root = root.get_string("work_root");
   report.driver = root.get_string("driver");
   if (!parse_driver(report.driver)) {
-    return "batch report driver '" + report.driver + "' is not one of the four";
+    return "batch report driver '" + report.driver + "' is not a known driver";
   }
   report.threads = static_cast<int>(root.get_number("threads", 0));
   report.event_workers = static_cast<int>(root.get_number("event_workers", 0));
@@ -370,9 +370,10 @@ Result<BatchReport, IoError> BatchRunner::run(const stdfs::path& input_root,
   }
 
   // Admission: the producer blocks once queue_capacity events are
-  // pending — backpressure against a stalled worker pool.
+  // pending — backpressure against a stalled worker pool. The queue
+  // only closes after this loop, so every push is accepted.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    queue.push(QueuedJob{&jobs[i], i});
+    if (queue.push(QueuedJob{&jobs[i], i}) == QueuePushResult::kClosed) break;
   }
   queue.close();
   for (std::thread& t : pool) t.join();

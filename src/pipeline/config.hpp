@@ -9,11 +9,15 @@
 #include "util/clock.hpp"
 #include "util/retry.hpp"
 
+namespace acx {
+class WorkPool;  // util/work_pool.hpp
+}
+
 namespace acx::pipeline {
 
-// The four pipeline implementations of the paper, selected at run time
-// (acx_process --driver ...). Each is a Scheduler over the same
-// StageGraph (src/pipeline/graph.hpp):
+// The four pipeline implementations of the paper plus the resident
+// service driver, selected at run time (acx_process --driver ...).
+// Each is a Scheduler over the same StageGraph (src/pipeline/graph.hpp):
 //   kSequential          — §III  Sequential Original: every stage of the
 //                          full graph, redundant processes included, one
 //                          record after another.
@@ -29,20 +33,28 @@ namespace acx::pipeline {
 //                          fan-out over the whole pruned graph, with the
 //                          response stage's period loop as a nested
 //                          `omp for`.
+//   kPool                — record-level fan-out onto the persistent
+//                          work-stealing WorkPool (util/work_pool.hpp)
+//                          instead of a per-run OpenMP team — the
+//                          resident-service driver (docs/SERVE.md).
+//                          Same pruned graph, byte-identical canonical
+//                          output to the other drivers.
 enum class Driver {
   kSequential,
   kSequentialOptimized,
   kPartialParallel,
   kFullParallel,
+  kPool,
 };
 
-// The CLI/report spellings: "seq", "seq-opt", "partial", "full".
+// The CLI/report spellings: "seq", "seq-opt", "partial", "full", "pool".
 inline const char* to_string(Driver d) {
   switch (d) {
     case Driver::kSequential: return "seq";
     case Driver::kSequentialOptimized: return "seq-opt";
     case Driver::kPartialParallel: return "partial";
     case Driver::kFullParallel: return "full";
+    case Driver::kPool: return "pool";
   }
   return "seq";
 }
@@ -52,13 +64,15 @@ inline std::optional<Driver> parse_driver(std::string_view name) {
   if (name == "seq-opt") return Driver::kSequentialOptimized;
   if (name == "partial") return Driver::kPartialParallel;
   if (name == "full") return Driver::kFullParallel;
+  if (name == "pool") return Driver::kPool;
   return std::nullopt;
 }
 
 // True for the drivers that run records concurrently (and therefore
 // always keep going: fail-fast needs a serial notion of "first").
 inline bool is_parallel(Driver d) {
-  return d == Driver::kPartialParallel || d == Driver::kFullParallel;
+  return d == Driver::kPartialParallel || d == Driver::kFullParallel ||
+         d == Driver::kPool;
 }
 
 // True for the drivers that execute the pruned graph (every driver
@@ -82,11 +96,20 @@ struct StageFault {
 };
 
 struct RunnerConfig {
-  // Which of the four paper implementations executes the stage graph.
+  // Which driver executes the stage graph (the paper's four, or the
+  // resident pool driver).
   Driver driver = Driver::kSequential;
   // OpenMP team size for the parallel drivers; 0 = the OpenMP default
-  // (all hardware threads). Ignored by the sequential drivers.
+  // (all hardware threads). Ignored by the sequential drivers. For the
+  // pool driver this sizes the *transient* pool when no shared one is
+  // given below.
   int threads = 0;
+  // The resident work-stealing pool the kPool driver dispatches onto.
+  // Non-owning; null makes PoolScheduler spin up a transient pool of
+  // `threads` workers for the run (acx_process), while acx_serve wires
+  // one process-lifetime pool through every event so team spin-up is
+  // paid exactly once (docs/SERVE.md).
+  WorkPool* pool = nullptr;
   // total_seconds of a sequential baseline report; when > 0 the run
   // report carries speedup_vs_sequential = baseline / this run.
   double baseline_total_seconds = 0;

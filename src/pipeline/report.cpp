@@ -323,7 +323,7 @@ Result<RunReport, std::string> RunReport::from_json_text(
   report.work_dir = root.get_string("work_dir");
   report.driver = root.get_string("driver");
   if (!parse_driver(report.driver)) {
-    return "run report driver '" + report.driver + "' is not one of the four";
+    return "run report driver '" + report.driver + "' is not a known driver";
   }
   report.threads = static_cast<int>(root.get_number("threads", 0));
   if (report.threads < 1) {

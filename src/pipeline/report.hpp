@@ -101,7 +101,7 @@ struct RunReport {
 
   std::string input_dir;
   std::string work_dir;
-  std::string driver = "seq";  // "seq" | "seq-opt" | "partial" | "full"
+  std::string driver = "seq";  // "seq"|"seq-opt"|"partial"|"full"|"pool"
   int threads = 1;             // resolved team size (1 for sequential)
   // baseline_total_seconds / total_seconds, when a baseline report was
   // supplied (acx_process --baseline); 0 = not measured, omitted.

@@ -8,6 +8,7 @@
 #include "pipeline/executor.hpp"
 #include "pipeline/graph.hpp"
 #include "pipeline/scheduler.hpp"
+#include "util/work_pool.hpp"
 
 namespace acx::pipeline {
 
@@ -25,8 +26,15 @@ StageRunner::StageRunner(FileSystem& fs, RunnerConfig config)
 Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
                                                   const stdfs::path& work_dir) {
   const auto run_started = std::chrono::steady_clock::now();
-  const int threads =
-      is_parallel(cfg_.driver) ? resolve_threads(cfg_.threads) : 1;
+  // The reported team size: the pool driver's is the shared pool's real
+  // worker count when one is wired in (the resident service), otherwise
+  // the transient pool it will spin up.
+  int threads = 1;
+  if (cfg_.driver == Driver::kPool && cfg_.pool) {
+    threads = cfg_.pool->thread_count();
+  } else if (is_parallel(cfg_.driver)) {
+    threads = resolve_threads(cfg_.threads);
+  }
 
   RunReport report;
   report.input_dir = input_dir.string();
@@ -90,7 +98,8 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
     slots.push_back(exec.make_slot(input, work_dir));
   }
 
-  auto scheduler = make_scheduler(cfg_.driver, threads, cfg_.keep_going);
+  auto scheduler =
+      make_scheduler(cfg_.driver, threads, cfg_.keep_going, cfg_.pool);
   scheduler->run(exec, slots, work_dir);
 
   for (RecordSlot& slot : slots) {

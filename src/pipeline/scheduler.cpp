@@ -6,11 +6,29 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/work_pool.hpp"
+
 namespace acx::pipeline {
 
 namespace stdfs = std::filesystem;
 
 namespace {
+
+// Longest-first issue order (input size descending, record id ascending
+// as the deterministic tie-break): both record-level fan-outs use it so
+// a long record dealt last cannot serialize the tail of the run.
+std::vector<std::size_t> longest_first_order(
+    const std::vector<RecordSlot>& slots) {
+  std::vector<std::size_t> order(slots.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (slots[a].input_bytes != slots[b].input_bytes) {
+      return slots[a].input_bytes > slots[b].input_bytes;
+    }
+    return slots[a].outcome.record < slots[b].outcome.record;
+  });
+  return order;
+}
 
 // §III / §IV of the paper: one record after another, every planned
 // stage in order. Sequential Original and Sequential Optimized are the
@@ -91,14 +109,7 @@ class FullParallelScheduler final : public Scheduler {
            const stdfs::path& work_dir) override {
     omp_set_max_active_levels(2);
     const long long n = static_cast<long long>(slots.size());
-    std::vector<std::size_t> order(slots.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (slots[a].input_bytes != slots[b].input_bytes) {
-        return slots[a].input_bytes > slots[b].input_bytes;
-      }
-      return slots[a].outcome.record < slots[b].outcome.record;
-    });
+    const std::vector<std::size_t> order = longest_first_order(slots);
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads_)
     for (long long i = 0; i < n; ++i) {
       exec.run_record(slots[order[static_cast<std::size_t>(i)]], work_dir);
@@ -109,6 +120,45 @@ class FullParallelScheduler final : public Scheduler {
   int threads_;
 };
 
+// The resident-service driver (docs/SERVE.md): record-level fan-out
+// onto the persistent work-stealing WorkPool instead of an OpenMP team.
+// Records go out longest-first like the full driver; each record is one
+// pool task running the whole per-record chain, and the TaskGroup latch
+// waits only for this event's records — several events may batch onto
+// the same pool concurrently from different event workers. The nested
+// response-period loop stays serial (response_threads=1): under a
+// shared pool, intra-record nesting would just fight the record-level
+// tasks for the same workers. Outcomes land in their original slots, so
+// the canonical report is byte-identical to the sequential drivers'.
+class PoolScheduler final : public Scheduler {
+ public:
+  PoolScheduler(WorkPool* shared, int threads)
+      : shared_(shared), threads_(threads) {}
+
+  void run(RecordExecutor& exec, std::vector<RecordSlot>& slots,
+           const stdfs::path& work_dir) override {
+    WorkPool* pool = shared_;
+    std::unique_ptr<WorkPool> transient;
+    if (!pool) {
+      // One-shot mode (acx_process --driver pool): pay the spin-up this
+      // run — the resident service wires a process-lifetime pool in.
+      transient = std::make_unique<WorkPool>(threads_);
+      pool = transient.get();
+    }
+    const std::vector<std::size_t> order = longest_first_order(slots);
+    WorkPool::TaskGroup group(*pool);
+    for (std::size_t idx : order) {
+      RecordSlot& slot = slots[idx];
+      group.run([&exec, &slot, &work_dir] { exec.run_record(slot, work_dir); });
+    }
+    group.wait();
+  }
+
+ private:
+  WorkPool* shared_;
+  int threads_;
+};
+
 }  // namespace
 
 int resolve_threads(int requested) {
@@ -116,7 +166,7 @@ int resolve_threads(int requested) {
 }
 
 std::unique_ptr<Scheduler> make_scheduler(Driver driver, int threads,
-                                          bool keep_going) {
+                                          bool keep_going, WorkPool* pool) {
   switch (driver) {
     case Driver::kSequential:
     case Driver::kSequentialOptimized:
@@ -126,6 +176,8 @@ std::unique_ptr<Scheduler> make_scheduler(Driver driver, int threads,
           resolve_threads(threads));
     case Driver::kFullParallel:
       return std::make_unique<FullParallelScheduler>(resolve_threads(threads));
+    case Driver::kPool:
+      return std::make_unique<PoolScheduler>(pool, resolve_threads(threads));
   }
   return std::make_unique<SequentialScheduler>(keep_going);
 }

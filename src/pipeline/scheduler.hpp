@@ -28,8 +28,11 @@ int resolve_threads(int requested);
 // The driver's scheduler. `threads` only matters for the parallel
 // drivers; `keep_going=false` only matters for the sequential ones
 // (the parallel drivers have no serial notion of "first failure" and
-// always keep going).
+// always keep going). `pool` is the resident WorkPool the kPool driver
+// dispatches onto — null makes PoolScheduler own a transient pool of
+// `threads` workers for the duration of the run.
 std::unique_ptr<Scheduler> make_scheduler(Driver driver, int threads,
-                                          bool keep_going);
+                                          bool keep_going,
+                                          WorkPool* pool = nullptr);
 
 }  // namespace acx::pipeline

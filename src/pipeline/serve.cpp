@@ -1,0 +1,475 @@
+#include "pipeline/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "pipeline/runner.hpp"
+#include "pipeline/scheduler.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/clock.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+#include "util/work_pool.hpp"
+
+namespace acx::pipeline {
+
+namespace stdfs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kTrajectoryCap = 256;
+constexpr const char* kManifestExtension = ".json";
+
+bool valid_event_id(const std::string& id) {
+  if (id.empty() || id.size() > 128 || id.front() == '.') return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Json sample_to_json(const ServeEventSample& s) {
+  Json j = Json::object();
+  j.set("index", static_cast<double>(s.index));
+  j.set("event", s.event);
+  j.set("status", s.status);
+  j.set("hits", static_cast<double>(s.hits));
+  j.set("misses", static_cast<double>(s.misses));
+  j.set("hit_rate", s.hit_rate);
+  j.set("seconds", s.seconds);
+  return j;
+}
+
+constexpr ErrorClass classify_io(const IoError& e) { return e.klass; }
+
+}  // namespace
+
+Json ServeStats::to_json() const {
+  Json root = Json::object();
+  root.set("version", kVersion);
+  root.set("uptime_seconds", uptime_seconds);
+  root.set("driver", driver);
+  root.set("threads", threads);
+  root.set("event_workers", event_workers);
+
+  Json queue = Json::object();
+  queue.set("capacity", static_cast<double>(queue_capacity));
+  queue.set("depth", static_cast<double>(queue_depth));
+  root.set("queue", std::move(queue));
+
+  Json events = Json::object();
+  events.set("admitted", static_cast<double>(admitted));
+  events.set("served", static_cast<double>(served));
+  events.set("ok", static_cast<double>(ok));
+  events.set("degraded", static_cast<double>(degraded));
+  events.set("quarantined", static_cast<double>(quarantined));
+  events.set("malformed", static_cast<double>(malformed));
+  events.set("duplicates", static_cast<double>(duplicates));
+  events.set("in_flight", static_cast<double>(in_flight));
+  root.set("events", std::move(events));
+
+  Json records = Json::object();
+  records.set("ok", static_cast<double>(records_ok));
+  records.set("degraded", static_cast<double>(records_degraded));
+  records.set("quarantined", static_cast<double>(records_quarantined));
+  root.set("records", std::move(records));
+  root.set("points", static_cast<double>(points));
+
+  Json sustained = Json::object();
+  const double up = uptime_seconds > 0 ? uptime_seconds : 0;
+  sustained.set("events_per_second", up > 0 ? served / up : 0.0);
+  sustained.set("records_per_second",
+                up > 0 ? (records_ok + records_degraded) / up : 0.0);
+  sustained.set("points_per_second", up > 0 ? points / up : 0.0);
+  root.set("sustained", std::move(sustained));
+
+  Json plan = Json::object();
+  plan.set("cumulative_hits", static_cast<double>(cache_hits));
+  plan.set("cumulative_misses", static_cast<double>(cache_misses));
+  plan.set("first_event", sample_to_json(first_event));
+  plan.set("last_event", sample_to_json(last_event));
+  Json traj = Json::array();
+  for (const ServeEventSample& s : trajectory) traj.push(sample_to_json(s));
+  plan.set("trajectory", std::move(traj));
+  root.set("plan_cache", std::move(plan));
+
+  Json pool = Json::object();
+  pool.set("threads", pool_threads);
+  pool.set("executed", static_cast<double>(pool_executed));
+  pool.set("steals", static_cast<double>(pool_steals));
+  pool.set("stolen_tasks", static_cast<double>(pool_stolen_tasks));
+  pool.set("injector_takes", static_cast<double>(pool_injector_takes));
+  pool.set("overflow", static_cast<double>(pool_overflow));
+  pool.set("parks", static_cast<double>(pool_parks));
+  pool.set("wakes", static_cast<double>(pool_wakes));
+  pool.set("inline_runs", static_cast<double>(pool_inline_runs));
+  root.set("pool", std::move(pool));
+
+  Json breaker = Json::object();
+  breaker.set("rejected_ops", static_cast<double>(breaker_rejected_ops));
+  breaker.set("opens", breaker_opens);
+  breaker.set("half_open_recoveries", breaker_half_open_recoveries);
+  root.set("breaker", std::move(breaker));
+
+  Json health = Json::object();
+  health.set("scan_errors", static_cast<double>(scan_errors));
+  health.set("stats_write_failures", static_cast<double>(stats_write_failures));
+  root.set("health", std::move(health));
+  return root;
+}
+
+SpoolServer::SpoolServer(FileSystem& fs, ServeConfig config)
+    : fs_(fs), cfg_(std::move(config)) {
+  if (cfg_.event_workers < 1) cfg_.event_workers = 1;
+  if (cfg_.shards < 1) cfg_.shards = 1;
+  if (cfg_.stats_every < 1) cfg_.stats_every = 1;
+  if (cfg_.poll_ms < 1) cfg_.poll_ms = 1;
+  if (!cfg_.runner.sleep) {
+    cfg_.runner.sleep = [](int ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+  // The record fan-out of every event lands on the shared pool.
+  cfg_.runner.pool = cfg_.pool;
+}
+
+SpoolServer::ManifestJob SpoolServer::parse_manifest(
+    const std::string& name, const std::string& text,
+    std::string& error) const {
+  ManifestJob job;
+  job.manifest = name;
+  auto parsed = Json::parse(text);
+  if (!parsed.ok()) {
+    error = "not valid JSON at byte " + std::to_string(parsed.error().offset);
+    return job;
+  }
+  const Json doc = std::move(parsed).take();
+  if (!doc.is_object()) {
+    error = "manifest root is not an object";
+    return job;
+  }
+  const std::string event = doc.get_string("event");
+  if (!valid_event_id(event)) {
+    error = "missing or invalid event id";
+    return job;
+  }
+  const std::string input = doc.get_string("input");
+  if (input.empty()) {
+    error = "missing input directory";
+    return job;
+  }
+  job.priority_bytes =
+      static_cast<std::uintmax_t>(std::max(0.0, doc.get_number("priority_bytes", 0)));
+  job.deadline_soft_s = doc.get_number("deadline_soft_s", -1);
+  job.deadline_hard_s = doc.get_number("deadline_hard_s", -1);
+  job.input_dir = input;
+  job.event = event;  // set last: non-empty event == parsed successfully
+  return job;
+}
+
+void SpoolServer::process_event(const ManifestJob& job) {
+  const std::string shard =
+      "s" + std::to_string(fnv1a64(job.event) %
+                           static_cast<std::uint64_t>(cfg_.shards));
+  const stdfs::path work_dir = work_root_ / "events" / shard / job.event;
+
+  // Fresh slate: a re-submitted event id after a crash must not inherit
+  // a half-written work dir.
+  (void)fs_.remove_all(work_dir);
+
+  RunnerConfig runner = cfg_.runner;
+  if (job.deadline_soft_s >= 0) runner.deadline.soft_seconds = job.deadline_soft_s;
+  if (job.deadline_hard_s >= 0) runner.deadline.hard_seconds = job.deadline_hard_s;
+
+  const auto started = std::chrono::steady_clock::now();
+  StageRunner event_runner(fs_, runner);
+  auto report = event_runner.run_event(job.input_dir, work_dir);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  if (report.ok()) {
+    record_completion(job, report.value().status(), &report.value(), seconds);
+  } else {
+    // Run-level failure (input dir unusable, report unwritable): the
+    // event is reported as quarantined — counted, never lost.
+    record_completion(job, "quarantined", nullptr, seconds);
+  }
+
+  // Manifest audit trail: claimed -> done once the event is reported.
+  // Retried like every other storage touch: an injected transient fault
+  // here must not strand the manifest in claimed/ on an otherwise
+  // healthy service.
+  (void)run_with_retry<Unit, IoError>(
+      cfg_.runner.retry, cfg_.runner.sleep, classify_io,
+      [&] { return fs_.rename(claimed_ / job.manifest, done_ / job.manifest); });
+}
+
+void SpoolServer::record_completion(const ManifestJob& job,
+                                    const std::string& status,
+                                    const RunReport* report, double seconds) {
+  bool write = false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.served;
+    if (status == "ok") ++stats_.ok;
+    else if (status == "degraded") ++stats_.degraded;
+    else ++stats_.quarantined;
+
+    ServeEventSample sample;
+    sample.index = stats_.served;
+    sample.event = job.event;
+    sample.status = status;
+    sample.seconds = seconds;
+    if (report) {
+      stats_.records_ok += report->count_ok() - report->count_degraded();
+      stats_.records_degraded += report->count_degraded();
+      stats_.records_quarantined += report->count_quarantined();
+      stats_.points += report->total_points();
+      for (const auto& [stage, profile] : report->stage_profile()) {
+        sample.hits += profile.cache_hits;
+        sample.misses += profile.cache_misses;
+      }
+      const long long touched = sample.hits + sample.misses;
+      sample.hit_rate =
+          touched > 0 ? static_cast<double>(sample.hits) / touched : 0;
+      stats_.cache_hits += sample.hits;
+      stats_.cache_misses += sample.misses;
+    }
+    if (stats_.served == 1) stats_.first_event = sample;
+    stats_.last_event = sample;
+    // Downsampled trajectory: keep every stride-th completion; once the
+    // cap is hit, halve the resolution (drop every other kept row and
+    // double the stride), so a million-event service still carries a
+    // bounded, evenly spaced amortization curve.
+    if ((sample.index - 1) % trajectory_stride_ == 0) {
+      if (stats_.trajectory.size() >= kTrajectoryCap) {
+        std::vector<ServeEventSample> thinned;
+        thinned.reserve(kTrajectoryCap / 2 + 1);
+        for (std::size_t i = 0; i < stats_.trajectory.size(); i += 2) {
+          thinned.push_back(stats_.trajectory[i]);
+        }
+        stats_.trajectory = std::move(thinned);
+        trajectory_stride_ *= 2;
+        if ((sample.index - 1) % trajectory_stride_ == 0) {
+          stats_.trajectory.push_back(sample);
+        }
+      } else {
+        stats_.trajectory.push_back(sample);
+      }
+    }
+    write = stats_.served % cfg_.stats_every == 0;
+  }
+  if (write) write_stats();
+}
+
+ServeStats SpoolServer::snapshot_locked() {
+  ServeStats snap = stats_;
+  snap.uptime_seconds = steady_now_seconds() - started_at_;
+  snap.driver = to_string(cfg_.runner.driver);
+  snap.threads = cfg_.pool ? cfg_.pool->thread_count()
+                           : resolve_threads(cfg_.runner.threads);
+  snap.event_workers = cfg_.event_workers;
+  snap.queue_capacity = cfg_.queue_capacity;
+  snap.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  snap.in_flight = in_flight_.load(std::memory_order_relaxed);
+  if (cfg_.pool) {
+    const WorkPoolStats p = cfg_.pool->stats();
+    snap.pool_threads = cfg_.pool->thread_count();
+    snap.pool_executed = p.executed;
+    snap.pool_steals = p.steals;
+    snap.pool_stolen_tasks = p.stolen_tasks;
+    snap.pool_injector_takes = p.injector_takes;
+    snap.pool_overflow = p.overflow;
+    snap.pool_parks = p.parks;
+    snap.pool_wakes = p.wakes;
+    snap.pool_inline_runs = p.inline_runs;
+  }
+  if (cfg_.runner.breaker) {
+    const storage::BreakerCounters after = cfg_.runner.breaker->counters();
+    snap.breaker_rejected_ops =
+        after.rejected_ops - breaker_before_.rejected_ops;
+    snap.breaker_opens = after.opens - breaker_before_.opens;
+    snap.breaker_half_open_recoveries =
+        after.half_open_recoveries - breaker_before_.half_open_recoveries;
+  }
+  return snap;
+}
+
+void SpoolServer::write_stats() {
+  ServeStats snap;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snap = snapshot_locked();
+  }
+  const std::string body = snap.dump();
+  auto wrote = run_with_retry<Unit, IoError>(
+      cfg_.runner.retry, cfg_.runner.sleep, classify_io, [&] {
+        return atomic_write_file(fs_, work_root_ / kServeStatsFileName, body);
+      });
+  if (!wrote.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.stats_write_failures;  // absorbed; the next completion retries
+  }
+}
+
+Result<ServeStats, IoError> SpoolServer::run(const stdfs::path& spool,
+                                             const stdfs::path& work_root) {
+  spool_ = spool;
+  claimed_ = spool / "claimed";
+  rejected_ = spool / "rejected";
+  done_ = spool / "done";
+  work_root_ = work_root;
+  started_at_ = steady_now_seconds();
+  breaker_before_ = cfg_.runner.breaker ? cfg_.runner.breaker->counters()
+                                        : storage::BreakerCounters{};
+
+  for (const stdfs::path& dir :
+       {spool_, spool_ / "tmp", claimed_, rejected_, done_,
+        work_root_ / "events"}) {
+    auto made = fs_.create_directories(dir);
+    if (!made.ok()) return std::move(made).take_error();
+  }
+
+  const BatchConfig::Priority priority = cfg_.priority;
+  auto less = [priority](const ManifestJob& a, const ManifestJob& b) {
+    switch (priority) {
+      case BatchConfig::Priority::kLargest:
+        return a.priority_bytes < b.priority_bytes;
+      case BatchConfig::Priority::kSmallest:
+        return a.priority_bytes > b.priority_bytes;
+      case BatchConfig::Priority::kFifo: break;
+    }
+    return false;  // equal priority everywhere: pure FIFO
+  };
+  BoundedPriorityQueue<ManifestJob, decltype(less)> queue(cfg_.queue_capacity,
+                                                          less);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(cfg_.event_workers));
+  for (int w = 0; w < cfg_.event_workers; ++w) {
+    workers.emplace_back([&] {
+      while (auto job = queue.pop()) {
+        queue_depth_.store(queue.size(), std::memory_order_relaxed);
+        in_flight_.fetch_add(1, std::memory_order_relaxed);
+        process_event(*job);
+        in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The request stream: scan, claim by atomic rename, parse, admit.
+  double idle_since = steady_now_seconds();
+  bool admitting = true;
+  for (;;) {
+    std::vector<stdfs::path> manifests;
+    if (admitting) {
+      auto listed = fs_.list_dir(spool_);
+      if (listed.ok()) {
+        for (const stdfs::path& p : listed.value()) {
+          if (p.extension() == kManifestExtension) manifests.push_back(p);
+        }
+        std::sort(manifests.begin(), manifests.end());
+      } else {
+        // A storage hiccup on the scan path must not kill the service:
+        // count it and retry on the next poll.
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.scan_errors;
+      }
+    }
+
+    for (const stdfs::path& manifest : manifests) {
+      // max_events can trip mid-scan; the rest of this scan's manifests
+      // stay unclaimed in the spool root for the next service instance.
+      if (!admitting) break;
+      const std::string name = manifest.filename().string();
+      // Claiming is the atomic handoff: whoever renames the manifest
+      // out of the spool root owns it. A failed rename (producer still
+      // writing via tmp/, or a racing claimer) is retried next scan.
+      if (!fs_.rename(manifest, claimed_ / name).ok()) continue;
+      auto text = run_with_retry<std::string, IoError>(
+          cfg_.runner.retry, cfg_.runner.sleep, classify_io,
+          [&] { return fs_.read_file(claimed_ / name); });
+      std::string error;
+      ManifestJob job = text.ok()
+                            ? parse_manifest(name, text.value(), error)
+                            : ManifestJob{};
+      if (!text.ok()) error = "unreadable manifest";
+      bool duplicate = false;
+      if (!job.event.empty()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        duplicate = !seen_events_.insert(job.event).second;
+      }
+      if (job.event.empty() || duplicate) {
+        if (duplicate) error = "duplicate event id: " + job.event;
+        (void)fs_.rename(claimed_ / name, rejected_ / name);
+        (void)fs_.write_file(rejected_ / (name + ".reason"), error + "\n");
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (duplicate) {
+          ++stats_.duplicates;
+        } else {
+          ++stats_.malformed;
+        }
+        continue;
+      }
+      // Backpressure: blocks while queue_capacity events are pending.
+      if (queue.push(std::move(job)) == QueuePushResult::kClosed) break;
+      queue_depth_.store(queue.size(), std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.admitted;
+        if (cfg_.max_events > 0 && stats_.admitted >= cfg_.max_events) {
+          admitting = false;
+        }
+      }
+      idle_since = steady_now_seconds();
+    }
+
+    if (!admitting && queue.size() == 0 &&
+        in_flight_.load(std::memory_order_relaxed) == 0) {
+      break;  // max_events reached and everything drained
+    }
+    if (manifests.empty()) {
+      // The sentinel is only honored once the spool is visibly empty,
+      // so "drop N manifests, then the sentinel" admits all N first.
+      if (fs_.exists(spool_ / kServeShutdownSentinel)) break;
+      if (cfg_.idle_exit_seconds > 0 && queue.size() == 0 &&
+          in_flight_.load(std::memory_order_relaxed) == 0 &&
+          steady_now_seconds() - idle_since >= cfg_.idle_exit_seconds) {
+        break;
+      }
+    } else {
+      idle_since = steady_now_seconds();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.poll_ms));
+  }
+
+  // Drain: stop admission, let the workers finish every queued event.
+  queue.close();
+  for (std::thread& t : workers) t.join();
+  queue_depth_.store(0, std::memory_order_relaxed);
+
+  // Consume the sentinel so the next serve run does not instantly exit.
+  if (fs_.exists(spool_ / kServeShutdownSentinel)) {
+    (void)fs_.remove_all(spool_ / kServeShutdownSentinel);
+  }
+
+  ServeStats final_stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    final_stats = snapshot_locked();
+  }
+  const std::string body = final_stats.dump();
+  auto wrote = run_with_retry<Unit, IoError>(
+      cfg_.runner.retry, cfg_.runner.sleep, classify_io, [&] {
+        return atomic_write_file(fs_, work_root_ / kServeStatsFileName, body);
+      });
+  if (!wrote.ok()) return std::move(wrote).take_error();
+  return final_stats;
+}
+
+}  // namespace acx::pipeline

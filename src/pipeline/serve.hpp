@@ -1,0 +1,196 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pipeline/batch.hpp"
+#include "pipeline/config.hpp"
+#include "util/fs.hpp"
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace acx {
+class WorkPool;  // util/work_pool.hpp
+}
+
+namespace acx::pipeline {
+
+// The resident service layer (docs/SERVE.md): a long-lived process that
+// watches a spool directory for event manifests, admits them through
+// the bounded priority queue, and runs each event through the standard
+// RecordExecutor + storage stack — with the record-level fan-out on one
+// persistent work-stealing WorkPool shared across every event, so
+// OpenMP-style team spin-up and plan-cache warm-up are paid once per
+// process instead of once per event.
+// The serve layer's RunnerConfig baseline: same defaults as a direct
+// run, except the driver is the pool driver the service exists for.
+inline RunnerConfig serve_default_runner() {
+  RunnerConfig runner;
+  runner.driver = Driver::kPool;
+  return runner;
+}
+
+struct ServeConfig {
+  // Per-event pipeline configuration; driver defaults to kPool and the
+  // shared pool below is wired into it by the server.
+  RunnerConfig runner = serve_default_runner();
+  // Inter-event concurrency: how many events run at once, each batching
+  // its records onto the shared pool.
+  int event_workers = 2;
+  std::size_t queue_capacity = 8;
+  // Work dirs shard as <work>/events/s<fnv1a64(event)%shards>/<event>.
+  int shards = 16;
+  // Which admitted event a freed worker claims next (same policies as
+  // the batch runner).
+  BatchConfig::Priority priority = BatchConfig::Priority::kFifo;
+  // Spool scan cadence while idle, milliseconds.
+  int poll_ms = 50;
+  // Stop admitting after this many events (0 = unbounded) — the soak
+  // and smoke harnesses use it as a deterministic stop.
+  long long max_events = 0;
+  // Exit once the spool, queue, and workers have all been idle this
+  // long (0 = resident until the shutdown sentinel appears).
+  double idle_exit_seconds = 0;
+  // Rewrite serve_stats.json every N event completions (>= 1).
+  int stats_every = 1;
+  // The resident record-level pool, shared across events. Null is legal
+  // (each event then spins a transient pool — the anti-pattern the
+  // service exists to avoid; acx_serve always passes one).
+  WorkPool* pool = nullptr;
+};
+
+// One event's plan-cache measurement, sampled into the rolling
+// trajectory that proves amortization across the event stream.
+struct ServeEventSample {
+  long long index = 0;  // 1-based completion order
+  std::string event;
+  std::string status;  // "ok" | "degraded" | "quarantined"
+  long long hits = 0;
+  long long misses = 0;
+  double hit_rate = 0;  // hits / (hits + misses), 0 when untouched
+  double seconds = 0;   // wall clock of the event's run
+};
+
+// The rolling snapshot written (atomically) to <work>/serve_stats.json
+// after every stats_every completions and at shutdown. Schema
+// documented in docs/SERVE.md.
+struct ServeStats {
+  static constexpr int kVersion = 1;
+
+  double uptime_seconds = 0;
+  std::string driver = "pool";
+  int threads = 1;
+  int event_workers = 1;
+  std::size_t queue_capacity = 0;
+  std::size_t queue_depth = 0;  // at snapshot time
+
+  long long admitted = 0;    // manifests accepted onto the queue
+  long long served = 0;      // events completed (reported), any status
+  long long ok = 0;          // event-level statuses
+  long long degraded = 0;
+  long long quarantined = 0;
+  long long malformed = 0;   // manifests rejected: unparseable/invalid
+  long long duplicates = 0;  // manifests rejected: event id already seen
+  long long in_flight = 0;   // popped but not yet completed
+
+  long long records_ok = 0;
+  long long records_degraded = 0;
+  long long records_quarantined = 0;
+  long long points = 0;
+
+  long long cache_hits = 0;    // plan-cache traffic, summed over events
+  long long cache_misses = 0;
+  ServeEventSample first_event;  // index 0 = none served yet
+  ServeEventSample last_event;
+  std::vector<ServeEventSample> trajectory;  // downsampled, <= 256 rows
+
+  // Pool counters (zeros when no shared pool is wired in).
+  int pool_threads = 0;
+  long long pool_executed = 0;
+  long long pool_steals = 0;
+  long long pool_stolen_tasks = 0;
+  long long pool_injector_takes = 0;
+  long long pool_overflow = 0;
+  long long pool_parks = 0;
+  long long pool_wakes = 0;
+  long long pool_inline_runs = 0;
+
+  // Breaker counter deltas since the service started.
+  long long breaker_rejected_ops = 0;
+  int breaker_opens = 0;
+  int breaker_half_open_recoveries = 0;
+
+  // Service-health counters: storage hiccups the service absorbed.
+  long long scan_errors = 0;
+  long long stats_write_failures = 0;
+
+  Json to_json() const;
+  std::string dump() const { return to_json().dump(2); }
+};
+
+inline constexpr const char* kServeStatsFileName = "serve_stats.json";
+inline constexpr const char* kServeShutdownSentinel = "shutdown";
+
+// Drives the resident service over one spool directory. Layout:
+//   <spool>/<name>.json      incoming manifests (arrive by atomic rename)
+//   <spool>/tmp/             producers stage here before renaming in
+//   <spool>/claimed/         owned by the server while an event runs
+//   <spool>/done/            manifest audit trail of completed events
+//   <spool>/rejected/        malformed or duplicate manifests
+//   <spool>/shutdown         sentinel: drain everything, then exit
+//   <work>/events/<shard>/<event>/   one StageRunner work dir per event
+//   <work>/serve_stats.json  the rolling snapshot
+//
+// A manifest is a JSON object {"event": ID, "input": DIR} with optional
+// "priority_bytes" (admission priority under largest/smallest) and
+// "deadline_soft_s"/"deadline_hard_s" per-event budget overrides.
+// run() blocks until shutdown (sentinel, max_events, or idle_exit) and
+// returns the final stats; record-level fan-out runs on config.pool.
+class SpoolServer {
+ public:
+  SpoolServer(FileSystem& fs, ServeConfig config = {});
+
+  Result<ServeStats, IoError> run(const std::filesystem::path& spool,
+                                  const std::filesystem::path& work_root);
+
+ private:
+  struct ManifestJob {
+    std::string manifest;  // file name inside claimed/
+    std::string event;
+    std::filesystem::path input_dir;
+    std::uintmax_t priority_bytes = 0;
+    double deadline_soft_s = -1;  // < 0 = inherit ServeConfig.runner
+    double deadline_hard_s = -1;
+  };
+
+  // Parses and validates one claimed manifest; empty event on failure
+  // with `error` describing why (for the rejected/ audit note).
+  ManifestJob parse_manifest(const std::string& name, const std::string& text,
+                             std::string& error) const;
+  void process_event(const ManifestJob& job);
+  void record_completion(const ManifestJob& job, const std::string& status,
+                         const RunReport* report, double seconds);
+  ServeStats snapshot_locked();  // caller holds stats_mu_
+  void write_stats();
+
+  FileSystem& fs_;
+  ServeConfig cfg_;
+
+  std::filesystem::path spool_, claimed_, rejected_, done_, work_root_;
+  double started_at_ = 0;
+  storage::BreakerCounters breaker_before_;
+
+  std::mutex stats_mu_;
+  ServeStats stats_;
+  std::set<std::string> seen_events_;
+  long long trajectory_stride_ = 1;
+  std::atomic<long long> in_flight_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+};
+
+}  // namespace acx::pipeline

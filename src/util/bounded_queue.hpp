@@ -9,31 +9,41 @@
 
 namespace acx {
 
-// Bounded blocking priority queue — the batch runner's admission seam.
+// The typed outcome of a push against the queue's shutdown seam: a
+// producer blocked on a full queue is woken by close() and told the
+// service is stopping (kClosed) instead of hanging or silently losing
+// its element — the contract tests/test_util.cpp pins under TSan.
+enum class QueuePushResult {
+  kAccepted,  // the element is in the queue
+  kClosed,    // the queue closed first; the element was NOT admitted
+};
+
+// Bounded blocking priority queue — the batch/serve admission seam.
 // push() blocks while the queue is at capacity (backpressure: the
 // producer cannot run ahead of the workers by more than `capacity`
 // events); pop() blocks while it is empty and returns the
 // highest-priority element (`Less(a, b)` == "a is lower priority than
 // b", std::priority_queue convention; ties resolve to the
 // earliest-pushed element, so equal-priority traffic stays FIFO).
-// close() wakes everyone: subsequent pushes are refused and pops drain
-// the remaining elements before reporting nullopt.
+// close() wakes everyone: subsequent pushes are refused with kClosed
+// and pops drain the remaining elements before reporting nullopt.
 template <class T, class Less>
 class BoundedPriorityQueue {
  public:
   BoundedPriorityQueue(std::size_t capacity, Less less = Less())
       : capacity_(capacity ? capacity : 1), less_(std::move(less)) {}
 
-  // False when the queue was closed before the element could be added.
-  bool push(T item) {
+  // kClosed when the queue was closed before the element could be
+  // added (the element is dropped; the producer owns the fallout).
+  QueuePushResult push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) return QueuePushResult::kClosed;
     items_.push_back(Entry{std::move(item), next_seq_++});
     std::push_heap(items_.begin(), items_.end(), entry_less());
     not_empty_.notify_one();
-    return true;
+    return QueuePushResult::kAccepted;
   }
 
   // The highest-priority element, or nullopt once closed and drained.

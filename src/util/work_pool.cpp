@@ -1,0 +1,303 @@
+#include "util/work_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace acx {
+
+namespace {
+
+// Identifies the worker a thread belongs to, so recursive submits from
+// inside a task take the cheap own-deque path.
+struct WorkerIdentity {
+  WorkPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerIdentity t_worker;
+
+constexpr std::size_t kDequeCapacity = 4096;  // power of two
+constexpr auto kParkBackstop = std::chrono::milliseconds(50);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Chase–Lev deque (fenced C11 variant of Lê et al., PPoPP'13).
+
+WorkPool::Deque::Deque(std::size_t capacity_pow2)
+    : mask_(capacity_pow2 - 1), cells_(capacity_pow2) {}
+
+bool WorkPool::Deque::push(Task* task) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  if (b - t >= static_cast<std::int64_t>(cells_.size())) return false;
+  cells_[static_cast<std::size_t>(b) & mask_].store(task,
+                                                    std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+  return true;
+}
+
+WorkPool::Task* WorkPool::Deque::take() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  Task* task = nullptr;
+  if (t <= b) {
+    task = cells_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it with the same CAS they use.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+  } else {
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return task;
+}
+
+WorkPool::Task* WorkPool::Deque::steal() {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return nullptr;
+  Task* task = cells_[static_cast<std::size_t>(t) & mask_].load(
+      std::memory_order_relaxed);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the race; the caller may retry elsewhere
+  }
+  return task;
+}
+
+std::size_t WorkPool::Deque::size_estimate() const {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Pool.
+
+WorkPool::WorkPool(int threads) {
+  int n = threads;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  workers_.resize(static_cast<std::size_t>(n));
+  for (auto& w : workers_) w.deque = std::make_unique<Deque>(kDequeCapacity);
+  for (int i = 0; i < n; ++i) {
+    workers_[static_cast<std::size_t>(i)].thread =
+        std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+WorkPool::~WorkPool() { shutdown(); }
+
+void WorkPool::submit(std::function<void()> fn) {
+  if (stop_.load(std::memory_order_acquire)) {
+    // The pool is stopping (or stopped): run on the caller instead of
+    // risking a task stranded behind exiting workers. Late work is
+    // never dropped, so TaskGroup::wait() cannot hang.
+    inline_runs_.fetch_add(1, std::memory_order_relaxed);
+    fn();
+    return;
+  }
+  enqueue(new Task{std::move(fn)});
+}
+
+void WorkPool::enqueue(Task* task) {
+  const WorkerIdentity id = t_worker;
+  if (id.pool == this && id.index >= 0) {
+    // Recursive submit from inside a task: the owner's deque, no lock.
+    if (!workers_[static_cast<std::size_t>(id.index)].deque->push(task)) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(injector_mu_);
+      injector_.push_back(task);
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    injector_.push_back(task);
+  }
+  signal_.fetch_add(1, std::memory_order_release);
+  wake_one();
+}
+
+void WorkPool::wake_one() {
+  if (parked_.load(std::memory_order_acquire) > 0) {
+    // Touch the park mutex so the notify cannot slip between a parking
+    // worker's predicate check and its wait.
+    { std::lock_guard<std::mutex> lock(park_mu_); }
+    park_cv_.notify_one();
+    wakes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+WorkPool::Task* WorkPool::take_from_injector(int self) {
+  std::unique_lock<std::mutex> lock(injector_mu_);
+  if (injector_.empty()) return nullptr;
+  // Steal-half: claim half the backlog (at least one), run the first
+  // task and shelve the rest on our own deque for the team to steal.
+  const std::size_t half = std::max<std::size_t>(1, injector_.size() / 2);
+  Task* first = injector_.front();
+  injector_.pop_front();
+  Deque& own = *workers_[static_cast<std::size_t>(self)].deque;
+  std::size_t moved = 0;
+  while (moved + 1 < half && !injector_.empty()) {
+    Task* task = injector_.front();
+    if (!own.push(task)) break;  // own deque full: leave the rest queued
+    injector_.pop_front();
+    ++moved;
+  }
+  lock.unlock();
+  injector_takes_.fetch_add(1, std::memory_order_relaxed);
+  if (moved > 0) {
+    signal_.fetch_add(1, std::memory_order_release);
+    wake_one();
+  }
+  return first;
+}
+
+WorkPool::Task* WorkPool::steal_from_victims(int self) {
+  // Pick the most loaded victim (racy estimate — good enough to spread
+  // a burst), then take half of what it appeared to hold, one proven
+  // single-item CAS steal at a time.
+  int victim = -1;
+  std::size_t best = 0;
+  for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
+    if (i == self) continue;
+    const std::size_t est =
+        workers_[static_cast<std::size_t>(i)].deque->size_estimate();
+    if (est > best) {
+      best = est;
+      victim = i;
+    }
+  }
+  if (victim < 0) return nullptr;
+  Deque& theirs = *workers_[static_cast<std::size_t>(victim)].deque;
+  Task* first = theirs.steal();
+  if (!first) return nullptr;
+  Deque& own = *workers_[static_cast<std::size_t>(self)].deque;
+  long long moved = 0;
+  for (std::size_t i = 1; i < std::max<std::size_t>(1, best / 2); ++i) {
+    Task* task = theirs.steal();
+    if (!task) break;
+    if (!own.push(task)) {
+      // Own deque full — extremely unlikely mid-steal, but never drop.
+      std::lock_guard<std::mutex> lock(injector_mu_);
+      injector_.push_back(task);
+    }
+    ++moved;
+  }
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  stolen_tasks_.fetch_add(moved + 1, std::memory_order_relaxed);
+  if (moved > 0) {
+    signal_.fetch_add(1, std::memory_order_release);
+    wake_one();
+  }
+  return first;
+}
+
+WorkPool::Task* WorkPool::find_task(int self) {
+  if (Task* task = workers_[static_cast<std::size_t>(self)].deque->take()) {
+    return task;
+  }
+  if (Task* task = take_from_injector(self)) return task;
+  return steal_from_victims(self);
+}
+
+void WorkPool::run_task(Task* task) {
+  // Count before running: the TaskGroup latch fires inside fn, so a
+  // waiter that saw its group drain must also see every one of its
+  // tasks already counted here.
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  task->fn();
+  delete task;
+}
+
+void WorkPool::worker_loop(int index) {
+  t_worker = WorkerIdentity{this, index};
+  for (;;) {
+    // Snapshot before scanning: any enqueue after this point flips the
+    // park predicate, so a task landing mid-scan cannot be missed.
+    const std::uint64_t snap = signal_.load(std::memory_order_acquire);
+    if (Task* task = find_task(index)) {
+      run_task(task);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    std::unique_lock<std::mutex> lock(park_mu_);
+    parked_.fetch_add(1, std::memory_order_release);
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    park_cv_.wait_for(lock, kParkBackstop, [&] {
+      return signal_.load(std::memory_order_acquire) != snap ||
+             stop_.load(std::memory_order_acquire);
+    });
+    parked_.fetch_sub(1, std::memory_order_release);
+  }
+  t_worker = WorkerIdentity{};
+}
+
+void WorkPool::shutdown() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+  }
+  park_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.thread.joinable()) w.thread.join();
+  }
+  // A submit() can race past the stop flag and strand its task on the
+  // injector after the workers drained; finish any such stragglers on
+  // the shutdown caller so drain really means drain.
+  for (;;) {
+    Task* task = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(injector_mu_);
+      if (injector_.empty()) break;
+      task = injector_.front();
+      injector_.pop_front();
+    }
+    run_task(task);
+  }
+}
+
+WorkPoolStats WorkPool::stats() const {
+  WorkPoolStats s;
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.stolen_tasks = stolen_tasks_.load(std::memory_order_relaxed);
+  s.injector_takes = injector_takes_.load(std::memory_order_relaxed);
+  s.overflow = overflow_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.wakes = wakes_.load(std::memory_order_relaxed);
+  s.inline_runs = inline_runs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup.
+
+void WorkPool::TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_.submit([this, fn = std::move(fn)] {
+    fn();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void WorkPool::TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+}  // namespace acx

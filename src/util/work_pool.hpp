@@ -1,0 +1,162 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acx {
+
+// Counters of one pool's lifetime, snapshotted by stats(). All monotone;
+// the serve layer publishes the deltas in serve_stats.json.
+struct WorkPoolStats {
+  long long executed = 0;        // tasks run to completion
+  long long steals = 0;          // successful steal rounds (victim found)
+  long long stolen_tasks = 0;    // tasks moved between workers by stealing
+  long long injector_takes = 0;  // batches a worker pulled off the injector
+  long long overflow = 0;        // owner-deque-full pushes rerouted
+  long long parks = 0;           // times a worker went to sleep
+  long long wakes = 0;           // notify calls issued for parked workers
+  long long inline_runs = 0;     // submits after shutdown, run on the caller
+};
+
+// Persistent work-stealing thread pool — the resident replacement for
+// per-run OpenMP team spin-up (docs/SERVE.md). Workers are spawned once
+// and live until shutdown(); record-level tasks are distributed over
+//
+//   * one Chase–Lev deque per worker (lock-free owner push/take at the
+//     bottom, lock-free thief steal at the top, per Lê/Pop/Cohen/
+//     Nardelli "Correct and Efficient Work-Stealing for Weak Memory
+//     Models", PPoPP'13 — the fenced variant verified for C11 atomics),
+//   * a mutex-guarded global injector fed by external submit() calls,
+//
+// with a steal-half policy: a worker that runs dry claims *half* of the
+// injector's backlog (or half of the largest visible victim deque, one
+// proven single-item CAS at a time) instead of one task, so a burst
+// admitted by one event worker spreads across the team in O(log n)
+// steal rounds. Idle workers park on a condvar and are woken by the
+// next submit; a 50 ms wait backstop makes the liveness argument
+// trivial under any missed-signal interleaving.
+//
+// Shutdown is drain-first: shutdown() stops admission, lets every
+// queued task (and every task those tasks spawn) run to completion,
+// then joins the workers. The destructor calls shutdown().
+//
+// Thread-safety: submit() may be called from any thread, including from
+// inside a running task (the recursive case lands on the calling
+// worker's own deque and is the cheap path). A submit() that races past
+// shutdown() runs the task inline on the caller — late work is never
+// dropped, so TaskGroup::wait() cannot hang on a stopping pool.
+class WorkPool {
+ public:
+  // threads <= 0 means one worker per hardware thread.
+  explicit WorkPool(int threads = 0);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  void submit(std::function<void()> fn);
+
+  // Completion latch over one batch of tasks. Several TaskGroups may run
+  // concurrently on one pool (that is the whole point of the resident
+  // service: every event worker batches its records onto the same
+  // pool), each waiting only for its own tasks.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(WorkPool& pool) : pool_(pool) {}
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+    // Submits fn and tracks it; wait() blocks until every tracked task
+    // (but nobody else's) finished.
+    void run(std::function<void()> fn);
+    void wait();
+
+   private:
+    WorkPool& pool_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    long long pending_ = 0;
+  };
+
+  // Stops admission, drains every queued task, joins the workers.
+  // Idempotent; called by the destructor.
+  void shutdown();
+
+  WorkPoolStats stats() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  // Chase–Lev work-stealing deque over a fixed power-of-two ring of
+  // atomic Task pointers. The owner pushes and takes at the bottom
+  // without locks; thieves steal at the top with a seq_cst CAS. A full
+  // ring is not grown — push() reports failure and the caller reroutes
+  // to the injector (overflow counter), which keeps the memory
+  // reclamation story trivial (no retired buffers to free).
+  class Deque {
+   public:
+    explicit Deque(std::size_t capacity_pow2);
+    bool push(Task* task);  // owner only; false when full
+    Task* take();           // owner only; nullptr when empty
+    Task* steal();          // any thief; nullptr when empty or race lost
+    // Racy estimate for victim selection and the steal-half budget.
+    std::size_t size_estimate() const;
+
+   private:
+    const std::size_t mask_;
+    std::vector<std::atomic<Task*>> cells_;
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+  };
+
+  struct Worker {
+    std::unique_ptr<Deque> deque;
+    std::thread thread;
+  };
+
+  void worker_loop(int index);
+  // One acquisition attempt: own deque, then injector (half), then the
+  // other workers (half of the best victim). Null when everything is dry.
+  Task* find_task(int self);
+  Task* take_from_injector(int self);
+  Task* steal_from_victims(int self);
+  void enqueue(Task* task);
+  void wake_one();
+  void run_task(Task* task);
+
+  std::vector<Worker> workers_;
+
+  std::mutex injector_mu_;
+  std::deque<Task*> injector_;
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<int> parked_{0};
+  // Bumped by every enqueue; a worker snapshots it before scanning so a
+  // submit that lands mid-scan flips the park predicate instead of
+  // being missed.
+  std::atomic<std::uint64_t> signal_{0};
+  std::atomic<bool> stop_{false};
+
+  mutable std::atomic<long long> executed_{0};
+  mutable std::atomic<long long> steals_{0};
+  mutable std::atomic<long long> stolen_tasks_{0};
+  mutable std::atomic<long long> injector_takes_{0};
+  mutable std::atomic<long long> overflow_{0};
+  mutable std::atomic<long long> parks_{0};
+  mutable std::atomic<long long> wakes_{0};
+  mutable std::atomic<long long> inline_runs_{0};
+};
+
+}  // namespace acx

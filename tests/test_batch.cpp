@@ -8,6 +8,8 @@
 
 #include <sys/wait.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -66,12 +68,13 @@ TEST(BoundedQueue, PopsByPriorityWithFifoTieBreak) {
     return a.priority < b.priority;
   };
   BoundedPriorityQueue<Item, decltype(less)> q(8, less);
-  ASSERT_TRUE(q.push({1, 0}));
-  ASSERT_TRUE(q.push({3, 1}));
-  ASSERT_TRUE(q.push({1, 2}));
-  ASSERT_TRUE(q.push({3, 3}));
+  ASSERT_EQ(q.push({1, 0}), QueuePushResult::kAccepted);
+  ASSERT_EQ(q.push({3, 1}), QueuePushResult::kAccepted);
+  ASSERT_EQ(q.push({1, 2}), QueuePushResult::kAccepted);
+  ASSERT_EQ(q.push({3, 3}), QueuePushResult::kAccepted);
   q.close();
-  EXPECT_FALSE(q.push({9, 4})) << "closed queue must refuse pushes";
+  EXPECT_EQ(q.push({9, 4}), QueuePushResult::kClosed)
+      << "closed queue must refuse pushes with the typed result";
 
   std::vector<int> seqs;
   while (auto item = q.pop()) seqs.push_back(item->seq);
@@ -89,7 +92,7 @@ TEST(BoundedQueue, PushBlocksAtCapacityUntilAConsumerPops) {
     while (q.pop()) ++popped;
   });
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(q.push(i));
+    ASSERT_EQ(q.push(i), QueuePushResult::kAccepted);
     // push() only returns once admitted, so the producer can never
     // observe more than `capacity` queued elements.
     ASSERT_LE(q.size(), 2u) << "producer ran ahead of the capacity bound";
@@ -97,6 +100,71 @@ TEST(BoundedQueue, PushBlocksAtCapacityUntilAConsumerPops) {
   q.close();
   consumer.join();
   EXPECT_EQ(popped, 50);
+}
+
+TEST(BoundedQueue, CloseWakesProducersBlockedOnAFullQueueWithTypedResult) {
+  // The service-shutdown seam: producers stuck in push() on a full
+  // queue must be woken by close() and told kClosed — not hang, not
+  // have their element silently admitted. Runs under the TSan CI leg.
+  auto less = [](int, int) { return false; };
+  BoundedPriorityQueue<int, decltype(less)> q(1, less);
+  ASSERT_EQ(q.push(0), QueuePushResult::kAccepted);  // queue now full
+
+  constexpr int kProducers = 4;
+  std::atomic<int> closed_results{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      if (q.push(100 + p) == QueuePushResult::kClosed) {
+        closed_results.fetch_add(1);
+      }
+    });
+  }
+  // Give the producers time to reach the blocked wait (best effort; the
+  // assertion holds either way — close() must wake both the blocked
+  // and the not-yet-blocked).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(q.size(), 1u) << "every producer must be blocked, not admitted";
+
+  q.close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(closed_results.load(), kProducers)
+      << "every blocked producer must observe the typed shutdown result";
+
+  // close() drains: the element admitted before the close survives.
+  auto survivor = q.pop();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(*survivor, 0);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, ConcurrentCloseRaceNeverHangsOrDuplicates) {
+  // Stress the close()/push()/pop() triple under the race detector:
+  // whatever interleaving, accepted elements are popped exactly once
+  // and refused elements not at all.
+  auto less = [](int, int) { return false; };
+  for (int round = 0; round < 20; ++round) {
+    BoundedPriorityQueue<int, decltype(less)> q(2, less);
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < 10; ++i) {
+          if (q.push(p * 10 + i) == QueuePushResult::kClosed) return;
+          accepted.fetch_add(1);
+        }
+      });
+    }
+    std::atomic<int> popped{0};
+    std::thread consumer([&] {
+      while (q.pop()) popped.fetch_add(1);
+    });
+    if (round % 2 == 0) std::this_thread::yield();
+    q.close();
+    for (std::thread& t : producers) t.join();
+    consumer.join();
+    EXPECT_EQ(popped.load(), accepted.load()) << "round " << round;
+  }
 }
 
 TEST(Batch, RunsEveryEventAndWritesAValidatingBatchReport) {

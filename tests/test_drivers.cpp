@@ -16,13 +16,14 @@
 #include "synth/synth.hpp"
 #include "test_helpers.hpp"
 #include "util/faultfs.hpp"
+#include "util/work_pool.hpp"
 
 namespace acx::pipeline {
 namespace {
 
 constexpr Driver kAllDrivers[] = {
     Driver::kSequential, Driver::kSequentialOptimized,
-    Driver::kPartialParallel, Driver::kFullParallel};
+    Driver::kPartialParallel, Driver::kFullParallel, Driver::kPool};
 
 RunnerConfig driver_config(Driver driver, int threads = 4) {
   RunnerConfig cfg;
@@ -154,6 +155,39 @@ TEST(Drivers, CanonicalReportIsByteStableAcrossDriversAndThreadCounts) {
   EXPECT_EQ(seq, canonical(Driver::kPartialParallel, 4, "w-partial"));
   EXPECT_EQ(seq, canonical(Driver::kFullParallel, 2, "w-full2"));
   EXPECT_EQ(seq, canonical(Driver::kFullParallel, 8, "w-full8"));
+  EXPECT_EQ(seq, canonical(Driver::kPool, 2, "w-pool2"));
+  EXPECT_EQ(seq, canonical(Driver::kPool, 8, "w-pool8"));
+}
+
+TEST(Drivers, PoolDriverOnASharedPoolMatchesSeqAndReportsPoolThreads) {
+  test::TempDir tmp("drivers");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto files = build_event(fs, input, 8);
+  poison_two(fs, files);
+
+  auto seq_run =
+      run_pipeline(fs, input, tmp.path() / "w-seq",
+                   driver_config(Driver::kSequential, 1));
+  ASSERT_TRUE(seq_run.ok());
+
+  // The acx_serve wiring: one process-lifetime pool shared by every
+  // run; the report's thread count must reflect the pool's team, not
+  // RunnerConfig::threads (which sizes only transient pools).
+  WorkPool pool(3);
+  RunnerConfig cfg = driver_config(Driver::kPool, 999);
+  cfg.pool = &pool;
+  for (int round = 0; round < 2; ++round) {
+    const auto work = tmp.path() / ("w-shared" + std::to_string(round));
+    auto run = run_pipeline(fs, input, work, cfg);
+    ASSERT_TRUE(run.ok()) << "round " << round;
+    EXPECT_EQ(run.value().driver, "pool");
+    EXPECT_EQ(run.value().threads, 3);
+    EXPECT_EQ(run.value().canonical_dump(), seq_run.value().canonical_dump())
+        << "round " << round;
+  }
+  EXPECT_GE(pool.stats().executed, 16) << "both rounds ran on the pool";
+  pool.shutdown();
 }
 
 TEST(Drivers, ReportRoundTripsWithDriverAndThreads) {

@@ -1,0 +1,300 @@
+// The resident service layer (pipeline/serve.hpp): spool admission by
+// atomic rename, malformed/duplicate rejection with audit notes,
+// drain-first shutdown via the sentinel, the serve_stats.json schema,
+// and the plan-cache amortization the shared WorkPool exists for.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/serve.hpp"
+#include "pipeline/validate.hpp"
+#include "synth/synth.hpp"
+#include "test_helpers.hpp"
+#include "util/work_pool.hpp"
+
+namespace acx::pipeline {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+void build_event(FileSystem& fs, const stdfs::path& dir, int n_files) {
+  synth::EventSpec spec = synth::paper_events()[0];
+  spec.n_files = n_files;
+  synth::SynthConfig scfg;
+  scfg.scale = 0.02;
+  ASSERT_TRUE(synth::build_event_dataset(fs, dir, spec, scfg).ok());
+}
+
+// Stage a manifest the way a well-behaved producer does: write into
+// tmp/, then rename into the spool root.
+void drop_manifest(FileSystem& fs, const stdfs::path& spool,
+                   const std::string& name, const std::string& body) {
+  ASSERT_TRUE(fs.create_directories(spool / "tmp").ok());
+  ASSERT_TRUE(fs.write_file(spool / "tmp" / name, body).ok());
+  ASSERT_TRUE(fs.rename(spool / "tmp" / name, spool / name).ok());
+}
+
+std::string manifest_body(const std::string& event, const stdfs::path& input) {
+  return "{\"event\": \"" + event + "\", \"input\": \"" + input.string() +
+         "\"}\n";
+}
+
+ServeConfig serve_config(WorkPool* pool) {
+  ServeConfig cfg;
+  cfg.runner.sleep = [](int) {};
+  cfg.runner.threads = 2;
+  cfg.pool = pool;
+  cfg.poll_ms = 2;
+  cfg.event_workers = 2;
+  return cfg;
+}
+
+TEST(Serve, ServesSpooledEventsAndDrainsOnTheShutdownSentinel) {
+  test::TempDir tmp("serve");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto spool = tmp.path() / "spool";
+  const auto work = tmp.path() / "work";
+  build_event(fs, input, 4);
+
+  ASSERT_TRUE(fs.create_directories(spool).ok());
+  for (const char* ev : {"ev-a", "ev-b", "ev-c"}) {
+    drop_manifest(fs, spool, std::string(ev) + ".json",
+                  manifest_body(ev, input));
+  }
+  // The sentinel is honored only once the spool is empty, so all three
+  // manifests above are admitted and drained first.
+  ASSERT_TRUE(fs.write_file(spool / kServeShutdownSentinel, "").ok());
+
+  WorkPool pool(2);
+  SpoolServer server(fs, serve_config(&pool));
+  auto run = server.run(spool, work);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  const ServeStats& stats = run.value();
+
+  EXPECT_EQ(stats.admitted, 3);
+  EXPECT_EQ(stats.served, 3);
+  EXPECT_EQ(stats.ok, 3);
+  EXPECT_EQ(stats.malformed, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+  EXPECT_EQ(stats.records_ok, 12);
+  EXPECT_GT(stats.points, 0);
+  EXPECT_EQ(stats.driver, "pool");
+  EXPECT_EQ(stats.pool_threads, 2);
+  EXPECT_GE(stats.pool_executed, 12);
+
+  // Audit trail: every manifest in done/, none left in the root or
+  // claimed/, sentinel consumed so a restart does not instantly exit.
+  for (const char* ev : {"ev-a", "ev-b", "ev-c"}) {
+    const std::string name = std::string(ev) + ".json";
+    EXPECT_TRUE(fs.exists(spool / "done" / name)) << ev;
+    EXPECT_FALSE(fs.exists(spool / name)) << ev;
+    EXPECT_FALSE(fs.exists(spool / "claimed" / name)) << ev;
+  }
+  EXPECT_FALSE(fs.exists(spool / kServeShutdownSentinel));
+
+  // Every event's work dir validates and its run report names the pool
+  // driver; serve_stats.json exists and round-trips as JSON.
+  int found = 0;
+  for (const char* ev : {"ev-a", "ev-b", "ev-c"}) {
+    for (int s = 0; s < 16; ++s) {
+      const auto dir = work / "events" / ("s" + std::to_string(s)) / ev;
+      if (!fs.exists(dir)) continue;
+      ++found;
+      EXPECT_TRUE(validate_workdir(fs, dir).clean()) << ev;
+      auto report = fs.read_file(dir / kRunReportFileName);
+      ASSERT_TRUE(report.ok());
+      auto parsed = RunReport::from_json_text(report.value());
+      ASSERT_TRUE(parsed.ok()) << parsed.error();
+      EXPECT_EQ(parsed.value().driver, "pool") << ev;
+      EXPECT_EQ(parsed.value().threads, 2) << ev;
+    }
+  }
+  EXPECT_EQ(found, 3);
+
+  auto stats_text = fs.read_file(work / kServeStatsFileName);
+  ASSERT_TRUE(stats_text.ok());
+  auto parsed = Json::parse(stats_text.value());
+  ASSERT_TRUE(parsed.ok());
+  const Json doc = std::move(parsed).take();
+  EXPECT_EQ(doc.get_number("version", -1), ServeStats::kVersion);
+  ASSERT_NE(doc.find("plan_cache"), nullptr);
+  ASSERT_NE(doc.find("pool"), nullptr);
+  ASSERT_NE(doc.find("events"), nullptr);
+  pool.shutdown();
+}
+
+TEST(Serve, RejectsMalformedAndDuplicateManifestsWithAuditNotes) {
+  test::TempDir tmp("serve");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto spool = tmp.path() / "spool";
+  const auto work = tmp.path() / "work";
+  build_event(fs, input, 2);
+
+  ASSERT_TRUE(fs.create_directories(spool).ok());
+  drop_manifest(fs, spool, "a-good.json", manifest_body("quake-1", input));
+  drop_manifest(fs, spool, "bad-syntax.json", "{nope");
+  drop_manifest(fs, spool, "bad-schema.json", "{\"event\": \"x\"}");
+  drop_manifest(fs, spool, "bad-id.json",
+                manifest_body("../escape", input));
+  drop_manifest(fs, spool, "z-dup.json", manifest_body("quake-1", input));
+  ASSERT_TRUE(fs.write_file(spool / kServeShutdownSentinel, "").ok());
+
+  WorkPool pool(2);
+  SpoolServer server(fs, serve_config(&pool));
+  auto run = server.run(spool, work);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  const ServeStats& stats = run.value();
+
+  EXPECT_EQ(stats.served, 1);
+  EXPECT_EQ(stats.ok, 1);
+  EXPECT_EQ(stats.malformed, 3);
+  EXPECT_EQ(stats.duplicates, 1);
+
+  for (const char* name :
+       {"bad-syntax.json", "bad-schema.json", "bad-id.json", "z-dup.json"}) {
+    EXPECT_TRUE(fs.exists(spool / "rejected" / name)) << name;
+    auto reason =
+        fs.read_file(spool / "rejected" / (std::string(name) + ".reason"));
+    EXPECT_TRUE(reason.ok()) << name;
+    EXPECT_FALSE(reason.value_or("").empty()) << name;
+  }
+  EXPECT_TRUE(fs.exists(spool / "done" / "a-good.json"));
+  pool.shutdown();
+}
+
+TEST(Serve, MaxEventsStopsAfterTheBudgetAndLosesNothing) {
+  test::TempDir tmp("serve");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto spool = tmp.path() / "spool";
+  const auto work = tmp.path() / "work";
+  build_event(fs, input, 2);
+
+  ASSERT_TRUE(fs.create_directories(spool).ok());
+  for (int i = 0; i < 6; ++i) {
+    const std::string ev = "ev-" + std::to_string(i);
+    drop_manifest(fs, spool, ev + ".json", manifest_body(ev, input));
+  }
+
+  WorkPool pool(2);
+  ServeConfig cfg = serve_config(&pool);
+  cfg.max_events = 4;
+  SpoolServer server(fs, cfg);
+  auto run = server.run(spool, work);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+
+  EXPECT_EQ(run.value().admitted, 4);
+  EXPECT_EQ(run.value().served, 4);
+  EXPECT_EQ(run.value().ok, 4);
+  // The two unserved manifests stay in the spool root for the next
+  // service instance — admission stopped, nothing was consumed.
+  int left = 0;
+  auto listed = fs.list_dir(spool);
+  ASSERT_TRUE(listed.ok());
+  for (const auto& p : listed.value()) {
+    if (p.extension() == ".json") ++left;
+  }
+  EXPECT_EQ(left, 2);
+  pool.shutdown();
+}
+
+TEST(Serve, PlanCacheHitsGrowAcrossTheEventStream) {
+  // The amortization claim of docs/SERVE.md: with one resident process,
+  // later events of the same shape hit the plan caches strictly more
+  // than the first event (which paid the misses).
+  test::TempDir tmp("serve");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto spool = tmp.path() / "spool";
+  const auto work = tmp.path() / "work";
+  build_event(fs, input, 3);
+
+  ASSERT_TRUE(fs.create_directories(spool).ok());
+  for (int i = 0; i < 5; ++i) {
+    const std::string ev = "stream-" + std::to_string(i);
+    drop_manifest(fs, spool, ev + ".json", manifest_body(ev, input));
+  }
+  ASSERT_TRUE(fs.write_file(spool / kServeShutdownSentinel, "").ok());
+
+  WorkPool pool(2);
+  ServeConfig cfg = serve_config(&pool);
+  cfg.event_workers = 1;  // deterministic completion order
+  SpoolServer server(fs, cfg);
+  auto run = server.run(spool, work);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  const ServeStats& stats = run.value();
+
+  ASSERT_EQ(stats.served, 5);
+  EXPECT_EQ(stats.first_event.index, 1);
+  EXPECT_EQ(stats.last_event.index, 5);
+  EXPECT_GT(stats.last_event.hits, 0);
+  // Later events never pay more misses than the first (the caches are
+  // process-global and only grow)...
+  EXPECT_LE(stats.last_event.misses, stats.first_event.misses);
+  // ...and the cumulative hit rate beats the first event's.
+  EXPECT_GT(stats.last_event.hit_rate, 0.0);
+  EXPECT_GE(stats.last_event.hit_rate, stats.first_event.hit_rate);
+  ASSERT_EQ(stats.trajectory.size(), 5u);
+  for (std::size_t i = 0; i < stats.trajectory.size(); ++i) {
+    EXPECT_EQ(stats.trajectory[i].index, static_cast<long long>(i + 1));
+    EXPECT_EQ(stats.trajectory[i].status, "ok");
+  }
+  pool.shutdown();
+}
+
+TEST(Serve, IdleExitStopsAQuietServiceWithoutASentinel) {
+  test::TempDir tmp("serve");
+  RealFileSystem fs;
+  const auto spool = tmp.path() / "spool";
+  const auto work = tmp.path() / "work";
+
+  WorkPool pool(1);
+  ServeConfig cfg = serve_config(&pool);
+  cfg.idle_exit_seconds = 0.05;
+  SpoolServer server(fs, cfg);
+  auto run = server.run(spool, work);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  EXPECT_EQ(run.value().served, 0);
+  EXPECT_GE(run.value().uptime_seconds, 0.05);
+  // Even an idle service leaves a valid stats file behind.
+  EXPECT_TRUE(fs.exists(work / kServeStatsFileName));
+  pool.shutdown();
+}
+
+TEST(Serve, ManifestDeadlineOverridesDegradeOnlyThatEvent) {
+  test::TempDir tmp("serve");
+  RealFileSystem fs;
+  const auto input = tmp.path() / "input";
+  const auto spool = tmp.path() / "spool";
+  const auto work = tmp.path() / "work";
+  build_event(fs, input, 3);
+
+  ASSERT_TRUE(fs.create_directories(spool).ok());
+  // a-: an impossible soft budget -> sheds enrichment stages, lands
+  // degraded. b-: no override -> inherits the (unbounded) default.
+  drop_manifest(fs, spool, "a-tight.json",
+                "{\"event\": \"tight\", \"input\": \"" + input.string() +
+                    "\", \"deadline_soft_s\": 0.000001}");
+  drop_manifest(fs, spool, "b-roomy.json", manifest_body("roomy", input));
+  ASSERT_TRUE(fs.write_file(spool / kServeShutdownSentinel, "").ok());
+
+  WorkPool pool(2);
+  ServeConfig cfg = serve_config(&pool);
+  cfg.event_workers = 1;
+  SpoolServer server(fs, cfg);
+  auto run = server.run(spool, work);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+
+  EXPECT_EQ(run.value().served, 2);
+  EXPECT_EQ(run.value().degraded, 1);
+  EXPECT_EQ(run.value().ok, 1);
+  pool.shutdown();
+}
+
+}  // namespace
+}  // namespace acx::pipeline

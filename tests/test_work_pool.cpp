@@ -1,0 +1,187 @@
+// WorkPool (util/work_pool.hpp): the persistent work-stealing pool the
+// resident service runs on. These tests pin the contracts docs/SERVE.md
+// leans on — every submitted task runs exactly once, TaskGroup isolates
+// concurrent batches, recursive submits from inside tasks complete,
+// shutdown drains instead of dropping, and late submits run inline.
+// The whole file is in the TSan CI leg's test set: the Chase–Lev deque
+// and the parking protocol are exercised under the race detector.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/work_pool.hpp"
+
+namespace acx {
+namespace {
+
+TEST(WorkPool, RunsEverySubmittedTaskExactlyOnce) {
+  constexpr int kTasks = 2000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  {
+    WorkPool pool(4);
+    WorkPool::TaskGroup group(pool);
+    for (int i = 0; i < kTasks; ++i) {
+      group.run([&runs, i] { runs[i].fetch_add(1); });
+    }
+    group.wait();
+    for (int i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(runs[i].load(), 1) << "task " << i;
+    }
+    EXPECT_EQ(pool.stats().executed, kTasks);
+  }
+}
+
+TEST(WorkPool, ThreadCountDefaultsToHardwareAndClampsToAtLeastOne) {
+  WorkPool by_default;  // <= 0 = one worker per hardware thread
+  EXPECT_GE(by_default.thread_count(), 1);
+  WorkPool three(3);
+  EXPECT_EQ(three.thread_count(), 3);
+}
+
+TEST(WorkPool, TaskGroupWaitOnlyCoversItsOwnTasks) {
+  WorkPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> slow_done{0}, fast_done{0};
+
+  // A "slow" group whose tasks block until released...
+  WorkPool::TaskGroup slow(pool);
+  slow.run([&] {
+    while (!release.load()) std::this_thread::yield();
+    slow_done.fetch_add(1);
+  });
+
+  // ...must not delay an independent group's wait() on the same pool —
+  // the resident-service invariant (one stuck event cannot stall the
+  // completion accounting of the others).
+  WorkPool::TaskGroup fast(pool);
+  for (int i = 0; i < 64; ++i) {
+    fast.run([&] { fast_done.fetch_add(1); });
+  }
+  fast.wait();
+  EXPECT_EQ(fast_done.load(), 64);
+  EXPECT_EQ(slow_done.load(), 0);
+
+  release.store(true);
+  slow.wait();
+  EXPECT_EQ(slow_done.load(), 1);
+}
+
+TEST(WorkPool, RecursiveSubmitsFromInsideTasksComplete) {
+  // Tasks that spawn subtasks land on the running worker's own deque
+  // (the cheap Chase–Lev path); the group latch must cover the whole
+  // tree, not just the roots.
+  WorkPool pool(3);
+  std::atomic<int> done{0};
+  WorkPool::TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([&] {
+      done.fetch_add(1);
+      for (int j = 0; j < 4; ++j) {
+        group.run([&] { done.fetch_add(1); });
+      }
+    });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 8 + 8 * 4);
+}
+
+TEST(WorkPool, ManyProducersOnePoolLoseNothing) {
+  // The serve shape: several event workers batching records onto one
+  // shared pool concurrently. Every producer's tasks run; the ids seen
+  // are exactly the ids submitted.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  WorkPool pool(3);
+  std::mutex mu;
+  std::set<int> seen;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      WorkPool::TaskGroup group(pool);
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int id = p * kPerProducer + i;
+        group.run([&, id] {
+          std::lock_guard<std::mutex> lock(mu);
+          seen.insert(id);
+        });
+      }
+      group.wait();
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(pool.stats().executed, kProducers * kPerProducer);
+}
+
+TEST(WorkPool, ShutdownDrainsQueuedTasksBeforeJoining) {
+  std::atomic<int> done{0};
+  constexpr int kTasks = 300;
+  {
+    WorkPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&] { done.fetch_add(1); });
+    }
+    pool.shutdown();  // drain-first: nothing queued may be dropped
+    EXPECT_EQ(done.load(), kTasks);
+    pool.shutdown();  // idempotent
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(WorkPool, SubmitAfterShutdownRunsInlineInsteadOfDropping) {
+  WorkPool pool(2);
+  pool.shutdown();
+  std::atomic<int> done{0};
+  pool.submit([&] { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 1) << "late submit must run on the caller";
+  EXPECT_GE(pool.stats().inline_runs, 1);
+
+  // The same guarantee through the group latch: wait() cannot hang on
+  // a stopped pool.
+  WorkPool::TaskGroup group(pool);
+  group.run([&] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(WorkPool, BurstFromOneProducerSpreadsAcrossWorkers) {
+  // Steal/injector accounting: a single external producer enqueues a
+  // burst; with several workers, at least one task must have reached a
+  // worker via the injector, and the counters stay consistent.
+  WorkPool pool(4);
+  std::atomic<int> done{0};
+  WorkPool::TaskGroup group(pool);
+  for (int i = 0; i < 1000; ++i) {
+    group.run([&] { done.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 1000);
+  const WorkPoolStats s = pool.stats();
+  EXPECT_EQ(s.executed, 1000);
+  EXPECT_GE(s.injector_takes, 1)
+      << "external submits land on the injector first";
+  EXPECT_GE(s.stolen_tasks, 0);
+  // A submit only records a wake if some worker is parked when it
+  // lands; under a loaded ctest the burst can finish before anyone
+  // parks. Provoke the park->wake cycle: idle-wait until a worker
+  // parks, poke the pool, repeat until a wake is observed.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (pool.stats().wakes == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    WorkPool::TaskGroup poke(pool);
+    poke.run([] {});
+    poke.wait();
+  }
+  EXPECT_GE(pool.stats().wakes, 1);
+}
+
+}  // namespace
+}  // namespace acx
