@@ -12,6 +12,7 @@
 #include "spectrum/fourier.hpp"
 #include "spectrum/response.hpp"
 #include "spectrum/response_plan.hpp"
+#include "spectrum/rotd.hpp"
 
 namespace {
 
@@ -129,6 +130,69 @@ void BM_SdofBatchBlock(benchmark::State& state) {
                           static_cast<long>(acx::spectrum::kSdofBatchBlock));
 }
 
+// Reduced RotD workload shared by the sweep/reference pair: the full
+// paper grid x 180 angles costs seconds per iteration, far too slow to
+// gate. 120 cells x 16 angles keeps the shape (rotate + batched
+// Nigam-Jennings per angle, percentile combine) at CI-friendly cost.
+acx::spectrum::ResponseGrid rotd_bench_grid() {
+  acx::spectrum::ResponseGrid grid;
+  for (int i = 0; i < 60; ++i) {
+    grid.periods.push_back(0.05 * static_cast<double>(i + 1));
+  }
+  grid.dampings = {0.02, 0.05};
+  return grid;
+}
+constexpr int kRotdBenchAngles = 16;
+
+std::vector<double> rotd_bench_component(std::size_t n, double phase) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * 0.005;
+    x[i] = 70.0 * std::sin(2.0 * M_PI * 2.5 * t + phase) *
+               std::exp(-0.2 * t) +
+           25.0 * std::sin(2.0 * M_PI * 7.0 * t + 2.0 * phase);
+  }
+  return x;
+}
+
+void BM_RotdSweep(benchmark::State& state) {
+  // The batched angle sweep over a cached plan — the station stage's
+  // kernel, at the reduced workload.
+  const auto l = rotd_bench_component(static_cast<std::size_t>(state.range(0)),
+                                      0.0);
+  const auto t = rotd_bench_component(static_cast<std::size_t>(state.range(0)),
+                                      1.3);
+  const auto grid = rotd_bench_grid();
+  for (auto _ : state) {
+    auto rotd =
+        acx::spectrum::rotd_spectrum(l, t, 0.005, grid, kRotdBenchAngles);
+    benchmark::DoNotOptimize(rotd);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          kRotdBenchAngles *
+                          static_cast<long>(grid.periods.size() *
+                                            grid.dampings.size()));
+}
+
+void BM_RotdScalarReference(benchmark::State& state) {
+  // One sdof_peak_response call per (angle, cell) — what the sweep
+  // would cost without batching or the plan cache.
+  const auto l = rotd_bench_component(static_cast<std::size_t>(state.range(0)),
+                                      0.0);
+  const auto t = rotd_bench_component(static_cast<std::size_t>(state.range(0)),
+                                      1.3);
+  const auto grid = rotd_bench_grid();
+  for (auto _ : state) {
+    auto rotd = acx::spectrum::rotd_spectrum_reference(l, t, 0.005, grid,
+                                                       kRotdBenchAngles);
+    benchmark::DoNotOptimize(rotd);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          kRotdBenchAngles *
+                          static_cast<long>(grid.periods.size() *
+                                            grid.dampings.size()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Fourier)->Name("spectrum.fourier")->Arg(7300)->Arg(35000);
@@ -139,5 +203,9 @@ BENCHMARK(BM_ResponsePlanCold)->Name("spectrum.response_plan_cold");
 BENCHMARK(BM_ResponsePlanCached)->Name("spectrum.response_plan_cached");
 BENCHMARK(BM_SdofScalarBlock)->Name("spectrum.sdof_scalar32")->Arg(7300);
 BENCHMARK(BM_SdofBatchBlock)->Name("spectrum.sdof_batch32")->Arg(7300);
+BENCHMARK(BM_RotdSweep)->Name("spectrum.rotd_sweep")->Arg(4000);
+BENCHMARK(BM_RotdScalarReference)
+    ->Name("spectrum.rotd_scalar")
+    ->Arg(4000);
 
 BENCHMARK_MAIN();

@@ -43,7 +43,9 @@ done
 for key in version total_seconds stage_totals stage_shares stage_profile \
            counts records seconds outputs driver threads \
            speedup_vs_sequential cache_hits cache_misses setup_seconds \
-           kernel_seconds status degraded shed points deadline breaker; do
+           kernel_seconds status degraded shed points deadline breaker \
+           stations station components checks rotd_status rotd_reason \
+           rotd_output; do
   if ! grep -q "\"$key\"" src/pipeline/report.cpp; then
     echo "docs-rot: docs/PIPELINE.md documents run-report key '$key'" \
          "but src/pipeline/report.cpp no longer emits it" >&2
@@ -93,7 +95,8 @@ done
 # 4. The format magics documented in docs/FORMATS.md must match the
 #    headers that define them.
 for pair in "ACX-V1:src/formats/v1.hpp" "ACX-V2:src/formats/v2.hpp" \
-            "ACX-F:src/formats/spectra.hpp" "ACX-R:src/formats/spectra.hpp"; do
+            "ACX-F:src/formats/spectra.hpp" "ACX-R:src/formats/spectra.hpp" \
+            "ACX-RD:src/formats/spectra.hpp"; do
   magic=${pair%%:*}; header=${pair#*:}
   if ! grep -q "$magic" docs/FORMATS.md; then
     echo "docs-rot: docs/FORMATS.md no longer documents magic '$magic'" >&2
@@ -117,20 +120,26 @@ while IFS= read -r slug; do
   fi
 done < <(grep -oE '\bspectrum\.[a-z_]+\b' docs/SPECTRUM.md | sort -u)
 
-# 6. Every storage.*/batch.* reason slug named in the docs must be in
-#    the registry, so acx_validate keeps accepting what the docs
-#    promise (and vice versa: a slug dropped from the registry rots
-#    here instead of silently failing validation).
+# 6. Every storage.*/batch.*/station.* reason slug named in the docs
+#    must be in the registry, so acx_validate keeps accepting what the
+#    docs promise (and vice versa: a slug dropped from the registry
+#    rots here instead of silently failing validation).
 while IFS= read -r slug; do
   [ -z "$slug" ] && continue
   # File references like batch.cpp / batch.hpp are paths, not slugs.
   case "$slug" in *.cpp|*.hpp|*.json|*.md|*.py|*.sh) continue ;; esac
-  if ! grep -q "\"$slug\"" src/pipeline/reasons.hpp; then
+  # station.* slugs are registered bare (the registry prepends the
+  # family); storage.*/batch.* are registered with the full dotted form.
+  case "$slug" in
+    station.*) probe="\"${slug#station.}\"" ;;
+    *) probe="\"$slug\"" ;;
+  esac
+  if ! grep -q "$probe" src/pipeline/reasons.hpp; then
     echo "docs-rot: docs name reason '$slug' but" \
          "src/pipeline/reasons.hpp does not register it" >&2
     fail=1
   fi
-done < <(grep -ohE '\b(storage|batch)\.[a-z_]+\b' docs/*.md | sort -u)
+done < <(grep -ohE '\b(storage|batch|station)\.[a-z_]+\b' docs/*.md | sort -u)
 
 # 7. The sched-report keys documented in docs/SCHED.md must still be
 #    emitted by the analysis writer (the acx_sched --json schema).

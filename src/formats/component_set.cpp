@@ -1,0 +1,57 @@
+#include "formats/component_set.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace acx::formats {
+
+std::pair<std::string, std::string> split_record_id(std::string_view id) {
+  if (id.size() >= 2 && is_component_suffix(id.back())) {
+    return {std::string(id.substr(0, id.size() - 1)),
+            std::string(1, id.back())};
+  }
+  return {std::string(id), std::string()};
+}
+
+bool ComponentSet::has_component(std::string_view c) const {
+  return std::find(components.begin(), components.end(), c) !=
+         components.end();
+}
+
+std::vector<ComponentSet> group_component_sets(
+    const std::vector<std::string>& record_ids) {
+  std::map<std::string, ComponentSet> by_station;
+  for (const std::string& id : record_ids) {
+    auto [station, component] = split_record_id(id);
+    ComponentSet& set = by_station[station];
+    set.station = station;
+    set.components.push_back(std::move(component));
+    set.records.push_back(id);
+  }
+  std::vector<ComponentSet> out;
+  out.reserve(by_station.size());
+  for (auto& [station, set] : by_station) {
+    // Sort members by component suffix, record id as tie-break, so a
+    // duplicate suffix lands adjacent and the order is deterministic.
+    std::vector<std::size_t> order(set.records.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&set](std::size_t a, std::size_t b) {
+      if (set.components[a] != set.components[b]) {
+        return set.components[a] < set.components[b];
+      }
+      return set.records[a] < set.records[b];
+    });
+    ComponentSet sorted;
+    sorted.station = set.station;
+    sorted.components.reserve(order.size());
+    sorted.records.reserve(order.size());
+    for (std::size_t i : order) {
+      sorted.components.push_back(std::move(set.components[i]));
+      sorted.records.push_back(std::move(set.records[i]));
+    }
+    out.push_back(std::move(sorted));
+  }
+  return out;
+}
+
+}  // namespace acx::formats

@@ -1,0 +1,48 @@
+#pragma once
+
+// Station/component grouping layer (docs/FORMATS.md, "Component sets").
+// A record id is "<station><component>": the component is the final
+// 'l' (longitudinal), 't' (transverse) or 'v' (vertical) character of
+// the id. Ids without such a suffix are treated as single-component
+// stations named by the whole id, with an empty component. The same
+// split is applied everywhere a record id has to be grouped — runner,
+// report, validator, sched — so the layers agree on station identity.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace acx::formats {
+
+// The three component suffixes, in canonical order.
+inline constexpr std::string_view kComponentSuffixes = "ltv";
+
+inline bool is_component_suffix(char c) {
+  return c == 'l' || c == 't' || c == 'v';
+}
+
+// "<station><component>" -> {station, component}. Falls back to
+// {id, ""} when the id has no recognizable suffix (single-character
+// ids are all station, never all component).
+std::pair<std::string, std::string> split_record_id(std::string_view id);
+
+// One station's view of an event: which components showed up, and the
+// record id each came from. `components[i]` is the suffix of
+// `records[i]`; both are sorted by component suffix (so a duplicate
+// suffix sorts adjacent and is easy to spot).
+struct ComponentSet {
+  std::string station;
+  std::vector<std::string> components;
+  std::vector<std::string> records;
+
+  bool has_component(std::string_view c) const;
+};
+
+// Groups record ids into component sets, sorted by station name.
+// Duplicate suffixes are kept (the caller decides whether that is a
+// quarantinable inconsistency).
+std::vector<ComponentSet> group_component_sets(
+    const std::vector<std::string>& record_ids);
+
+}  // namespace acx::formats

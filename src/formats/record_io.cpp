@@ -41,7 +41,8 @@ bool parse_peak_entry(std::string_view s, PeakEntry& out) {
 
 Result<ParsedRecord, ParseError> read_record(std::string_view content,
                                              std::string_view magic,
-                                             bool is_v2) {
+                                             bool is_v2,
+                                             bool header_only = false) {
   if (content.empty()) return err(Code::kEmptyFile, 0, 0, "file is empty");
 
   auto ascii = scan::check_ascii(content);
@@ -223,6 +224,8 @@ Result<ParsedRecord, ParseError> read_record(std::string_view content,
   }
   out.peaks.present = peaks_seen == 3;
 
+  if (header_only) return out;
+
   auto samples = scan::read_data_block(lines, h.npts, content.size());
   if (!samples.ok()) return std::move(samples).take_error();
   out.record.samples = std::move(samples).take();
@@ -283,6 +286,13 @@ Result<Record, ParseError> read_v1(std::string_view content) {
   auto parsed = read_record(content, kV1Magic, /*is_v2=*/false);
   if (!parsed.ok()) return std::move(parsed).take_error();
   return std::move(parsed).take().record;
+}
+
+Result<RecordHeader, ParseError> read_v1_header(std::string_view content) {
+  auto parsed =
+      read_record(content, kV1Magic, /*is_v2=*/false, /*header_only=*/true);
+  if (!parsed.ok()) return std::move(parsed).take_error();
+  return std::move(parsed).take().record.header;
 }
 
 std::string write_v1(const Record& record) {

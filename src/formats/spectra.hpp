@@ -1,11 +1,15 @@
 #pragma once
 
-// The two spectral output formats (docs/FORMATS.md):
-//   F — Fourier amplitude spectrum of the corrected acceleration, with
-//       the FPL/FSL corners the V2 band-pass used (when the search
-//       succeeded).
-//   R — response spectra SD/SV/SA over the (period, damping) grid.
-// Both reuse the V1/V2 skeleton: "<MAGIC> 1" line, "KEY value" header,
+// The spectral output formats (docs/FORMATS.md):
+//   F  — Fourier amplitude spectrum of the corrected acceleration,
+//        with the FPL/FSL corners the V2 band-pass used (when the
+//        search succeeded).
+//   R  — response spectra SD/SV/SA over the (period, damping) grid.
+//   RD — orientation-independent RotD percentile SA spectra of one
+//        *station* (both horizontal components combined over a
+//        rotation-angle sweep), plus the geometric mean. Station-
+//        level: there is no COMPONENT header line.
+// All reuse the V1/V2 skeleton: "<MAGIC> 1" line, "KEY value" header,
 // fixed-column DATA block, END trailer, strict ASCII/LF.
 
 #include <string>
@@ -22,6 +26,8 @@ inline constexpr std::string_view kFMagic = "ACX-F";
 inline constexpr std::string_view kFExtension = ".f";
 inline constexpr std::string_view kRMagic = "ACX-R";
 inline constexpr std::string_view kRExtension = ".r";
+inline constexpr std::string_view kRotdMagic = "ACX-RD";
+inline constexpr std::string_view kRotdExtension = ".rotd";
 
 // Fourier amplitude spectrum of one corrected component. The header
 // block reuses RecordHeader with spectral semantics: `dt` is the
@@ -65,5 +71,32 @@ struct RRecord {
 Result<RRecord, ParseError> read_r(std::string_view content);
 
 std::string write_r(const RRecord& record);
+
+// Orientation-independent RotD spectra of one station. The rotated
+// horizontal acceleration a(θ) = l·cosθ + t·sinθ is swept over ANGLES
+// equally spaced angles in [0°, 180°); per (period, damping) cell the
+// SA percentiles over the sweep give RotD00 (min), RotD50 (median)
+// and RotD100 (max); GEOMEAN is sqrt(SA_l · SA_t) of the unrotated
+// components. Layout mirrors R: NPERIODS counts periods, the data
+// block holds periods[NPERIODS] then, damping-major, ROTD00 / ROTD50 /
+// ROTD100 / GEOMEAN rows of NPERIODS each.
+struct RotdRecord {
+  std::string station;            // STATION — no COMPONENT line
+  std::string event_id;
+  std::string date;
+  double dt = 0.0;                // source record sampling interval
+  long angles = 0;                // rotation angles swept, >= 1
+  std::vector<double> dampings;   // ascending in [0, 1)
+  std::vector<double> periods;    // strictly ascending, positive
+  std::vector<double> rotd00, rotd50, rotd100, geomean;  // SA, cm/s2
+
+  std::size_t index(std::size_t d, std::size_t p) const {
+    return d * periods.size() + p;
+  }
+};
+
+Result<RotdRecord, ParseError> read_rotd(std::string_view content);
+
+std::string write_rotd(const RotdRecord& record);
 
 }  // namespace acx::formats

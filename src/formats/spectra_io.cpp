@@ -423,6 +423,238 @@ Result<RRecord, ParseError> read_r(std::string_view content) {
   return out;
 }
 
+Result<RotdRecord, ParseError> read_rotd(std::string_view content) {
+  if (content.empty()) return err(Code::kEmptyFile, 0, 0, "file is empty");
+  auto ascii = scan::check_ascii(content);
+  if (!ascii.ok()) return std::move(ascii).take_error();
+
+  scan::LineReader lines{content};
+  auto magic_ok = scan::read_magic(lines, kRotdMagic);
+  if (!magic_ok.ok()) return std::move(magic_ok).take_error();
+
+  RotdRecord out;
+  long nperiods = 0;
+  // Station-level header: no COMPONENT field (the whole point of the
+  // format is that the result is orientation-independent).
+  enum Field { kStation, kEvent, kDate, kDt, kNperiods, kAngles, kDampings };
+  static constexpr const char* kFieldNames[] = {
+      "STATION", "EVENT", "DATE", "DT", "NPERIODS", "ANGLES", "DAMPINGS"};
+  constexpr int kFieldCount = 7;
+  bool seen[kFieldCount] = {};
+  bool saw_data_marker = false;
+
+  std::string_view line;
+  while (lines.next(line)) {
+    if (line == "DATA") {
+      saw_data_marker = true;
+      break;
+    }
+    const std::size_t sp = line.find(' ');
+    const std::string_view key = line.substr(0, sp);
+    const std::string_view val =
+        sp == std::string_view::npos ? std::string_view{} : line.substr(sp + 1);
+    const std::size_t off = lines.line_start;
+    const std::size_t ln = lines.line_no;
+
+    int field = -1;
+    for (int f = 0; f < kFieldCount; ++f) {
+      if (key == kFieldNames[f]) {
+        field = f;
+        break;
+      }
+    }
+    if (field < 0) {
+      return err(Code::kBadHeaderField, off, ln,
+                 "unknown header field '" + std::string(key) + "'");
+    }
+    if (seen[field]) {
+      return err(Code::kDuplicateHeaderField, off, ln,
+                 "duplicate header field '" + std::string(key) + "'");
+    }
+    seen[field] = true;
+
+    switch (field) {
+      case kStation:
+        if (!is_ident(val)) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "STATION must be a non-empty identifier");
+        }
+        out.station = std::string(val);
+        break;
+      case kEvent:
+        if (!is_ident(val)) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "EVENT must be a non-empty identifier");
+        }
+        out.event_id = std::string(val);
+        break;
+      case kDate:
+        if (!is_date(val)) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "DATE must be yyyy-mm-dd; got '" + std::string(val) + "'");
+        }
+        out.date = std::string(val);
+        break;
+      case kDt: {
+        double dt = 0;
+        if (!parse_header_double(val, dt) || dt <= 0) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "DT must be a finite positive number; got '" +
+                         std::string(val) + "'");
+        }
+        out.dt = dt;
+        break;
+      }
+      case kNperiods: {
+        long n = 0;
+        if (!parse_full_long(val, n) || n <= 0 || n > scan::kMaxNpts) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "NPERIODS must be in [1, " +
+                         std::to_string(scan::kMaxNpts) + "]; got '" +
+                         std::string(val) + "'");
+        }
+        nperiods = n;
+        break;
+      }
+      case kAngles: {
+        long n = 0;
+        if (!parse_full_long(val, n) || n <= 0 || n > 36000) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "ANGLES must be in [1, 36000]; got '" + std::string(val) +
+                         "'");
+        }
+        out.angles = n;
+        break;
+      }
+      case kDampings: {
+        std::string_view rest = val;
+        while (!rest.empty()) {
+          const std::size_t comma = rest.find(',');
+          const std::string_view tok = rest.substr(0, comma);
+          double z = 0;
+          if (!parse_header_double(tok, z) || z < 0 || z >= 1) {
+            return err(Code::kBadHeaderField, off, ln,
+                       "DAMPINGS must be a comma-separated list of ratios in "
+                       "[0, 1); got '" +
+                           std::string(tok) + "'");
+          }
+          if (!out.dampings.empty() && z <= out.dampings.back()) {
+            return err(Code::kBadHeaderField, off, ln,
+                       "DAMPINGS must be strictly ascending");
+          }
+          out.dampings.push_back(z);
+          rest = comma == std::string_view::npos ? std::string_view{}
+                                                 : rest.substr(comma + 1);
+        }
+        if (out.dampings.empty()) {
+          return err(Code::kBadHeaderField, off, ln,
+                     "DAMPINGS must name at least one ratio");
+        }
+        break;
+      }
+    }
+  }
+
+  if (!saw_data_marker) {
+    return err(Code::kMissingDataMarker, content.size(), lines.line_no,
+               "no DATA marker before end of file");
+  }
+  for (int f = 0; f < kFieldCount; ++f) {
+    if (!seen[f]) {
+      return err(Code::kMissingHeaderField, lines.line_start, lines.line_no,
+                 std::string("missing header field ") + kFieldNames[f]);
+    }
+  }
+
+  // One flat block: periods, then ROTD00/ROTD50/ROTD100/GEOMEAN per
+  // damping, damping-major.
+  const long ndamp = static_cast<long>(out.dampings.size());
+  const long total = nperiods * (1 + 4 * ndamp);
+  auto block = scan::read_data_block(lines, total, content.size());
+  if (!block.ok()) return std::move(block).take_error();
+  std::vector<double> flat = std::move(block).take();
+
+  const std::size_t np = static_cast<std::size_t>(nperiods);
+  out.periods.assign(flat.begin(), flat.begin() + nperiods);
+  for (std::size_t i = 0; i < np; ++i) {
+    if (out.periods[i] <= 0) {
+      return err(Code::kBadValue, 0, 0,
+                 "period " + std::to_string(i) + " is not positive");
+    }
+    if (i > 0 && out.periods[i] <= out.periods[i - 1]) {
+      return err(Code::kBadValue, 0, 0,
+                 "periods must be strictly ascending (index " +
+                     std::to_string(i) + ")");
+    }
+  }
+  const std::size_t cells = np * static_cast<std::size_t>(ndamp);
+  out.rotd00.resize(cells);
+  out.rotd50.resize(cells);
+  out.rotd100.resize(cells);
+  out.geomean.resize(cells);
+  std::size_t cursor = np;
+  for (long d = 0; d < ndamp; ++d) {
+    const std::size_t base = static_cast<std::size_t>(d) * np;
+    for (std::vector<double>* dst :
+         {&out.rotd00, &out.rotd50, &out.rotd100, &out.geomean}) {
+      for (std::size_t p = 0; p < np; ++p) {
+        const double v = flat[cursor++];
+        if (v < 0) {
+          return err(Code::kBadValue, 0, 0,
+                     "spectral value at damping " + std::to_string(d) +
+                         ", period " + std::to_string(p) + " is negative");
+        }
+        (*dst)[base + p] = v;
+      }
+    }
+  }
+  // The percentile ordering is an invariant of the sweep, not just a
+  // convention: a file that breaks it was not produced by the kernel.
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (out.rotd00[i] > out.rotd50[i] || out.rotd50[i] > out.rotd100[i]) {
+      return err(Code::kBadValue, 0, 0,
+                 "RotD percentiles out of order at cell " + std::to_string(i) +
+                     ": ROTD00 <= ROTD50 <= ROTD100 must hold");
+    }
+  }
+  return out;
+}
+
+std::string write_rotd(const RotdRecord& record) {
+  std::string out;
+  out += kRotdMagic;
+  out += " 1\n";
+  out += "STATION " + record.station + "\n";
+  out += "EVENT " + record.event_id + "\n";
+  out += "DATE " + record.date + "\n";
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "DT %.6e\n", record.dt);
+  out += buf;
+  out += "NPERIODS " + std::to_string(record.periods.size()) + "\n";
+  out += "ANGLES " + std::to_string(record.angles) + "\n";
+  out += "DAMPINGS ";
+  for (std::size_t i = 0; i < record.dampings.size(); ++i) {
+    if (i) out += ',';
+    std::snprintf(buf, sizeof buf, "%.6e", record.dampings[i]);
+    out += buf;
+  }
+  out += '\n';
+
+  std::vector<double> flat;
+  const std::size_t np = record.periods.size();
+  flat.reserve(np * (1 + 4 * record.dampings.size()));
+  flat.insert(flat.end(), record.periods.begin(), record.periods.end());
+  for (std::size_t d = 0; d < record.dampings.size(); ++d) {
+    const std::size_t base = d * np;
+    for (const std::vector<double>* src :
+         {&record.rotd00, &record.rotd50, &record.rotd100, &record.geomean}) {
+      flat.insert(flat.end(), src->begin() + base, src->begin() + base + np);
+    }
+  }
+  scan::append_data_block(out, flat);
+  return out;
+}
+
 std::string write_r(const RRecord& record) {
   std::string out;
   append_common_header(out, kRMagic, record.header);

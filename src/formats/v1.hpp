@@ -18,6 +18,12 @@ inline constexpr std::string_view kV1Extension = ".v1";
 // trailer. Never throws; never accepts a malformed file.
 Result<Record, ParseError> read_v1(std::string_view content);
 
+// Header-only read: validates the magic and every header field up to
+// the DATA marker with read_v1's strictness, but never materializes
+// the sample block. The runner's station pre-scan uses this to group
+// components and cross-check dt/npts cheaply before any stage runs.
+Result<RecordHeader, ParseError> read_v1_header(std::string_view content);
+
 // Writes the canonical form read_v1 round-trips.
 std::string write_v1(const Record& record);
 

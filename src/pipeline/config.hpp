@@ -135,6 +135,11 @@ struct RunnerConfig {
   // FAS, corner-search and response-grid parameters of the spectral
   // stages (corners, fourier, response).
   SpectrumConfig spectrum;
+  // Station pre-scan floor: a record whose header announces less than
+  // this many seconds of signal (npts * dt) is quarantined as
+  // station.short_duration before any stage runs — too short for any
+  // spectral product to mean anything.
+  double min_station_duration_s = 0.1;
   // keep_going=true is the production mode: quarantine poisoned records
   // and continue the event run with the survivors. false stops at the
   // first quarantined record (still writing the report) — sequential

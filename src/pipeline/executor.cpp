@@ -37,6 +37,10 @@ void RecordExecutor::instantiate(const StageGraph& graph,
   for (const StageNode* node : graph.plan(prune_redundant)) {
     plan_.push_back({node, node->make()});
   }
+  station_plan_.clear();
+  for (const StageNode* node : graph.station_plan(prune_redundant)) {
+    station_plan_.push_back({node, node->make_station()});
+  }
 }
 
 RecordSlot RecordExecutor::make_slot(const stdfs::path& input,
@@ -53,15 +57,20 @@ RecordSlot RecordExecutor::make_slot(const stdfs::path& input,
   return slot;
 }
 
-Result<Unit, StageError> RecordExecutor::run_stage_once(Stage& stage,
-                                                        RecordContext& ctx) {
+namespace {
+
+// Fault-injection gate shared by the record and station paths: counts
+// the invocation under the lock, and when it matches the configured
+// fault either kills the process or manufactures the stage_crash error.
+Result<Unit, StageError> injected_fault_or(
+    const StageFault& f, std::mutex& mu, std::map<std::string, int>& counters,
+    const char* name, const std::function<Result<Unit, StageError>()>& run) {
   int invocation = 0;
   {
-    std::lock_guard<std::mutex> lock(invocations_mu_);
-    invocation = ++invocations_[stage.name()];
+    std::lock_guard<std::mutex> lock(mu);
+    invocation = ++counters[name];
   }
-  const StageFault& f = cfg_.stage_fault;
-  if (!f.stage.empty() && f.stage == stage.name() &&
+  if (!f.stage.empty() && f.stage == name &&
       invocation == f.kill_on_invocation) {
     // Whole-process death (power loss / OOM-kill model): no destructors,
     // no report — exactly the mid-batch crash the resume path recovers
@@ -69,25 +78,40 @@ Result<Unit, StageError> RecordExecutor::run_stage_once(Stage& stage,
     if (f.kill_process) std::_Exit(137);
     return StageError{
         f.transient ? ErrorClass::kTransient : ErrorClass::kPoison,
-        std::string("stage_crash.") + stage.name(),
+        std::string("stage_crash.") + name,
         "injected stage fault on invocation " + std::to_string(invocation)};
   }
-  return stage.run(ctx);
+  return run();
+}
+
+}  // namespace
+
+Result<Unit, StageError> RecordExecutor::run_stage_once(Stage& stage,
+                                                        RecordContext& ctx) {
+  return injected_fault_or(cfg_.stage_fault, invocations_mu_, invocations_,
+                           stage.name(), [&] { return stage.run(ctx); });
+}
+
+Result<Unit, StageError> RecordExecutor::run_station_once(
+    StationStage& stage, StationContext& ctx) {
+  return injected_fault_or(cfg_.stage_fault, invocations_mu_, invocations_,
+                           stage.name(), [&] { return stage.run(ctx); });
 }
 
 bool RecordExecutor::run_step(
-    const std::string& name, RecordOutcome& outcome, StageError& failure,
-    const std::function<Result<Unit, StageError>()>& fn) {
+    const std::string& name, const std::string& key,
+    std::vector<StageAttempt>& stages, int& retries, double& seconds,
+    StageError& failure, const std::function<Result<Unit, StageError>()>& fn) {
   int attempts = 0;
   // A stage runs start-to-finish on this thread, so the delta of the
   // thread-local perf counters across the retry loop is exactly the
   // cache traffic and setup/kernel time this stage incurred.
   const perf::Counters before = perf::local();
   const auto started = std::chrono::steady_clock::now();
-  // Jitter salt: stable per (record, stage) regardless of scheduling, so
-  // a fixed jitter_seed reproduces every sleep while concurrent records
-  // retrying the same stage stay decorrelated.
-  const std::uint64_t salt = fnv1a64(outcome.record) ^ fnv1a64(name);
+  // Jitter salt: stable per (record-or-station, stage) regardless of
+  // scheduling, so a fixed jitter_seed reproduces every sleep while
+  // concurrent slots retrying the same stage stay decorrelated.
+  const std::uint64_t salt = fnv1a64(key) ^ fnv1a64(name);
   RetryBudgetFn budget;
   if (deadline_ && deadline_->config().hard_seconds > 0) {
     budget = [this](int backoff_ms) {
@@ -116,13 +140,24 @@ bool RecordExecutor::run_step(
     failure = r.error();
     attempt.error = failure.reason;
   }
-  outcome.retries += attempts - 1;
-  outcome.seconds += attempt.seconds;
-  outcome.stages.push_back(std::move(attempt));
+  retries += attempts - 1;
+  seconds += attempt.seconds;
+  stages.push_back(std::move(attempt));
   return r.ok();
 }
 
+bool RecordExecutor::run_step(
+    const std::string& name, RecordOutcome& outcome, StageError& failure,
+    const std::function<Result<Unit, StageError>()>& fn) {
+  return run_step(name, outcome.record, outcome.stages, outcome.retries,
+                  outcome.seconds, failure, fn);
+}
+
 void RecordExecutor::setup_scratch(RecordSlot& slot) {
+  // A slot the station pre-scan already quarantined skips the whole
+  // chain: no scratch dir, no attempts — finalize() quarantines it with
+  // the pre-scan's station.* reason.
+  if (slot.failed) return;
   const bool ok = run_step("scratch_setup", slot.outcome, slot.failure, [&] {
     (void)fs_.remove_all(slot.ctx.scratch_dir);
     auto made = fs_.create_directories(slot.ctx.scratch_dir);
@@ -247,6 +282,51 @@ void RecordExecutor::run_record(RecordSlot& slot, const stdfs::path& work_dir) {
   setup_scratch(slot);
   for (const PlannedStage& ps : plan_) run_stage(slot, ps);
   finalize(slot, work_dir);
+}
+
+void RecordExecutor::run_station(StationSlot& slot) {
+  // A graph without station stages has no verdict to settle — the slot
+  // keeps whatever status the runner seeded (skipped).
+  if (station_plan_.empty()) return;
+  for (const PlannedStationStage& ps : station_plan_) {
+    if (slot.failed) break;
+    // Hard deadline: the station phase stops where it stands, exactly
+    // like a record mid-chain.
+    if (deadline_ && deadline_->hard_expired()) {
+      StageAttempt attempt;
+      attempt.stage = ps.node->name;
+      attempt.attempts = 0;
+      attempt.ok = false;
+      attempt.error = "batch.deadline_hard";
+      slot.outcome.stages.push_back(std::move(attempt));
+      slot.failure = StageError{ErrorClass::kPoison, "batch.deadline_hard",
+                                "hard deadline expired before stage '" +
+                                    ps.node->name + "'"};
+      slot.failed = true;
+      break;
+    }
+    if (!run_step(ps.node->name, slot.outcome.station, slot.outcome.stages,
+                  slot.outcome.retries, slot.outcome.seconds, slot.failure,
+                  [&] { return run_station_once(*ps.stage, slot.ctx); })) {
+      slot.failed = true;
+    }
+  }
+  if (!slot.failed) {
+    slot.outcome.rotd_status = "ok";
+    slot.outcome.rotd_output = slot.ctx.rotd_path.string();
+  } else {
+    slot.outcome.rotd_status = "failed";
+    slot.outcome.rotd_reason =
+        slot.failure.klass == ErrorClass::kPoison
+            ? slot.failure.reason
+            : "transient_exhausted." + slot.failure.reason;
+    // The rotd stage publishes atomically on success only, but scrub
+    // defensively: a failed station must leave no station output behind.
+    if (!slot.ctx.rotd_path.empty()) {
+      (void)fs_.remove_all(slot.ctx.rotd_path);
+      slot.ctx.rotd_path.clear();
+    }
+  }
 }
 
 }  // namespace acx::pipeline

@@ -38,6 +38,24 @@ struct PlannedStage {
   std::unique_ptr<Stage> stage;
 };
 
+// One station's unit of scheduling for the station phase that runs
+// after the record fan-out: its context (component sample vectors
+// borrowed from the owning RecordSlots), its report rollup, and its
+// failure state. Same ownership rule as RecordSlot: whole slots move
+// between threads, so no locking.
+struct StationSlot {
+  StationContext ctx;
+  StationOutcome outcome;
+  StageError failure;
+  bool failed = false;  // a station stage failed (or pre-skipped)
+};
+
+// A station-scoped graph node bound to its StationStage instance.
+struct PlannedStationStage {
+  const StageNode* node = nullptr;
+  std::unique_ptr<StationStage> stage;
+};
+
 // The per-record execution machinery every scheduler shares: stage
 // instantiation from the graph plan, retry with capped backoff and
 // seeded jitter, deterministic fault injection, deadline-pressure
@@ -54,16 +72,21 @@ class RecordExecutor {
   // run and already be start()ed. Null (the default) = unbounded.
   void set_deadline(const DeadlineTracker* deadline) { deadline_ = deadline; }
 
-  // Instantiates one Stage per surviving graph node, in plan order.
+  // Instantiates one Stage per surviving graph node (and one
+  // StationStage per station-scoped node), in plan order.
   void instantiate(const StageGraph& graph, bool prune_redundant);
   const std::vector<PlannedStage>& plan() const { return plan_; }
+  const std::vector<PlannedStationStage>& station_plan() const {
+    return station_plan_;
+  }
 
   // A fresh slot for one input record under <work_dir>.
   RecordSlot make_slot(const std::filesystem::path& input,
                        const std::filesystem::path& work_dir) const;
 
   // Re-creates the record's private scratch dir (with retry). Failure
-  // marks the slot failed; later run_stage calls become no-ops.
+  // marks the slot failed; later run_stage calls become no-ops. No-op
+  // when the slot is already failed (station pre-scan quarantine).
   void setup_scratch(RecordSlot& slot);
 
   // Runs one planned stage on the slot (retry + timing + report entry).
@@ -79,8 +102,25 @@ class RecordExecutor {
   // whole per-record chain, as the sequential and full drivers run it.
   void run_record(RecordSlot& slot, const std::filesystem::path& work_dir);
 
+  // Runs every planned station stage on the slot (hard-deadline guard,
+  // retry + timing + report entry, shared fault-injection counters),
+  // then settles the rotd verdict: "ok" with the published output
+  // path, or "failed" with the registered reason and any partial
+  // output scrubbed. The runner only hands over eligible slots — a
+  // station that cannot run stays "skipped" and never reaches here.
+  void run_station(StationSlot& slot);
+
  private:
   Result<Unit, StageError> run_stage_once(Stage& stage, RecordContext& ctx);
+  Result<Unit, StageError> run_station_once(StationStage& stage,
+                                            StationContext& ctx);
+  // The retry/timing/report core shared by record and station steps:
+  // `key` seeds the jitter salt (record id or station name), the
+  // attempt group lands in `stages`, retries/seconds accumulate.
+  bool run_step(const std::string& name, const std::string& key,
+                std::vector<StageAttempt>& stages, int& retries,
+                double& seconds, StageError& failure,
+                const std::function<Result<Unit, StageError>()>& fn);
   bool run_step(const std::string& name, RecordOutcome& outcome,
                 StageError& failure,
                 const std::function<Result<Unit, StageError>()>& fn);
@@ -96,6 +136,7 @@ class RecordExecutor {
   const RunnerConfig& cfg_;
   const DeadlineTracker* deadline_ = nullptr;
   std::vector<PlannedStage> plan_;
+  std::vector<PlannedStationStage> station_plan_;
   std::mutex invocations_mu_;  // guards the fault-injection counters
   std::map<std::string, int> invocations_;
 };

@@ -15,6 +15,18 @@ std::vector<const StageNode*> StageGraph::plan(bool prune_redundant) const {
   std::vector<const StageNode*> out;
   out.reserve(nodes_.size());
   for (const StageNode& node : nodes_) {
+    if (node.station_scoped) continue;
+    if (prune_redundant && node.redundant) continue;
+    out.push_back(&node);
+  }
+  return out;
+}
+
+std::vector<const StageNode*> StageGraph::station_plan(
+    bool prune_redundant) const {
+  std::vector<const StageNode*> out;
+  for (const StageNode& node : nodes_) {
+    if (!node.station_scoped) continue;
     if (prune_redundant && node.redundant) continue;
     out.push_back(&node);
   }
@@ -28,8 +40,8 @@ std::vector<StageShape> StageGraph::shape() const {
   // run before the graph's own stage_in (RecordExecutor::setup_scratch).
   out.push_back({"scratch_setup", {}, false, true, false});
   for (const StageNode& node : nodes_) {
-    StageShape s{node.name, node.deps, node.redundant, node.parallel_safe,
-                 node.sheddable};
+    StageShape s{node.name,          node.deps,      node.redundant,
+                 node.parallel_safe, node.sheddable, node.station_scoped};
     if (node.deps.empty()) s.deps.push_back("scratch_setup");
     out.push_back(std::move(s));
   }
@@ -40,7 +52,21 @@ Result<Unit, std::string> StageGraph::verify() const {
   std::set<std::string> seen;
   for (const StageNode& node : nodes_) {
     if (node.name.empty()) return std::string("graph has an unnamed stage");
-    if (!node.make) return "stage '" + node.name + "' has no factory";
+    if (node.station_scoped) {
+      if (!node.make_station) {
+        return "station stage '" + node.name + "' has no station factory";
+      }
+      if (node.make) {
+        return "station stage '" + node.name +
+               "' also carries a per-record factory";
+      }
+    } else {
+      if (!node.make) return "stage '" + node.name + "' has no factory";
+      if (node.make_station) {
+        return "stage '" + node.name + "' carries a station factory but is "
+               "not station-scoped";
+      }
+    }
     if (!seen.insert(node.name).second) {
       return "duplicate stage '" + node.name + "'";
     }
@@ -55,6 +81,10 @@ Result<Unit, std::string> StageGraph::verify() const {
         return "stage '" + node.name + "' depends on redundant stage '" +
                dep + "'; pruning would sever the edge";
       }
+      if (!node.station_scoped && find(dep)->station_scoped) {
+        return "stage '" + node.name + "' depends on station stage '" + dep +
+               "'; the station phase runs after every per-record stage";
+      }
     }
   }
   return Unit{};
@@ -67,34 +97,56 @@ StageGraph StageGraph::standard(const CorrectionConfig& correction,
       return make_stage(name, correction, spectrum);
     };
   };
+  auto rec = [&mk](const char* name, std::vector<std::string> deps,
+                   bool redundant, bool parallel_safe, bool sheddable) {
+    StageNode n;
+    n.name = name;
+    n.deps = std::move(deps);
+    n.redundant = redundant;
+    n.parallel_safe = parallel_safe;
+    n.sheddable = sheddable;
+    n.make = mk(name);
+    return n;
+  };
   StageGraph g;
-  g.add({"stage_in", {}, false, true, false, mk("stage_in")});
-  g.add({"parse", {"stage_in"}, false, true, false, mk("parse")});
+  g.add(rec("stage_in", {}, false, true, false));
+  g.add(rec("parse", {"stage_in"}, false, true, false));
   // P#6 analogue: the original pipeline re-validated its input list
   // after staging; the result duplicates what parse already proved.
-  g.add({"reparse", {"parse"}, true, false, false, mk("reparse")});
-  g.add({"calibrate", {"parse"}, false, true, false, mk("calibrate")});
-  g.add({"demean", {"calibrate"}, false, true, false, mk("demean")});
-  g.add({"corners", {"demean"}, false, true, false, mk("corners")});
+  g.add(rec("reparse", {"parse"}, true, false, false));
+  g.add(rec("calibrate", {"parse"}, false, true, false));
+  g.add(rec("demean", {"calibrate"}, false, true, false));
+  g.add(rec("corners", {"demean"}, false, true, false));
   // P#12 analogue: a second FAS of the demeaned record, written as a
   // scratch preview artifact nothing downstream reads. Sheddable: it is
   // pure preview, so deadline pressure drops it first.
-  g.add({"fas_preview", {"demean"}, true, false, true, mk("fas_preview")});
-  g.add({"bandpass", {"corners"}, false, true, false, mk("bandpass")});
-  g.add({"detrend", {"bandpass"}, false, true, false, mk("detrend")});
-  g.add({"integrate", {"detrend"}, false, true, false, mk("integrate")});
-  g.add({"peaks", {"integrate"}, false, true, false, mk("peaks")});
+  g.add(rec("fas_preview", {"demean"}, true, false, true));
+  g.add(rec("bandpass", {"corners"}, false, true, false));
+  g.add(rec("detrend", {"bandpass"}, false, true, false));
+  g.add(rec("integrate", {"detrend"}, false, true, false));
+  g.add(rec("peaks", {"integrate"}, false, true, false));
   // P#14 analogue: the original pipeline re-extracted the max values it
   // had already extracted.
-  g.add({"repeaks", {"peaks"}, true, false, false, mk("repeaks")});
+  g.add(rec("repeaks", {"peaks"}, true, false, false));
   // The spectral products are enrichments of the corrected record: a
   // record that loses them under deadline or storage-breaker pressure
   // is still publishable (as degraded), so both are sheddable. The V2
   // chain through write_v2 is essential and never sheds.
-  g.add({"fourier", {"detrend"}, false, true, true, mk("fourier")});
-  g.add({"response", {"detrend"}, false, true, true, mk("response")});
-  g.add({"write_v2", {"peaks", "fourier", "response"}, false, true, false,
-         mk("write_v2")});
+  g.add(rec("fourier", {"detrend"}, false, true, true));
+  g.add(rec("response", {"detrend"}, false, true, true));
+  g.add(rec("write_v2", {"peaks", "fourier", "response"}, false, true,
+            false));
+  // Station-scoped: the RotD sweep consumes the detrended (corrected)
+  // acceleration of both horizontal members of a station. Not
+  // sheddable — a station that cannot run it is reported skipped with
+  // a typed reason, never degraded component records.
+  StageNode rotd;
+  rotd.name = "rotd";
+  rotd.deps = {"detrend"};
+  rotd.parallel_safe = true;
+  rotd.station_scoped = true;
+  rotd.make_station = [spectrum] { return make_station_stage("rotd", spectrum); };
+  g.add(std::move(rotd));
   return g;
 }
 

@@ -31,6 +31,13 @@ namespace acx::pipeline {
 //                   forgive it, publishing the record as *degraded*
 //                   instead of quarantining it. The essential chain
 //                   (parse -> ... -> write_v2) is never sheddable.
+//   station_scoped — the stage runs once per *station* after every
+//                   per-component stage of that station has settled
+//                   (the rotd sweep combining both horizontals). Its
+//                   deps name the per-component stages whose results
+//                   it consumes from each member; schedulers dispatch
+//                   component tasks independently and run the station
+//                   phase after the record fan-out completes.
 struct StageNode {
   std::string name;
   std::vector<std::string> deps;
@@ -41,6 +48,10 @@ struct StageNode {
   // re-entrant: the schedulers share one instance per node across all
   // records (and, under the parallel drivers, across threads).
   std::function<std::unique_ptr<Stage>()> make;
+  bool station_scoped = false;
+  // Factory for station-scoped nodes; exactly one of make/make_station
+  // is set (verify() enforces the pairing with station_scoped).
+  std::function<std::unique_ptr<StationStage>()> make_station;
 };
 
 // The executable part of a StageNode stripped away: what a consumer
@@ -53,6 +64,7 @@ struct StageShape {
   bool redundant = false;
   bool parallel_safe = false;
   bool sheddable = false;
+  bool station_scoped = false;
 };
 
 // The declared pipeline: stages, dependency edges, and which of them
@@ -65,7 +77,8 @@ class StageGraph {
   //   stage_in -> parse -> reparse* -> calibrate -> demean -> corners
   //   -> fas_preview* -> bandpass -> detrend -> integrate -> peaks
   //   -> repeaks* -> fourier -> response -> write_v2
-  // (* = redundant, pruned by every driver except Sequential Original).
+  // (* = redundant, pruned by every driver except Sequential Original),
+  // plus the station-scoped rotd stage (deps: detrend of each member).
   static StageGraph standard(const CorrectionConfig& correction = {},
                              const SpectrumConfig& spectrum = {});
 
@@ -73,11 +86,16 @@ class StageGraph {
   const std::vector<StageNode>& nodes() const { return nodes_; }
   const StageNode* find(std::string_view name) const;
 
-  // The deterministic execution plan: every node in declaration order,
-  // with the redundant nodes removed when prune_redundant is set. All
-  // four drivers run the same plan objects; they differ only in how
-  // they schedule it.
+  // The deterministic per-record execution plan: every per-component
+  // node in declaration order, with the redundant nodes removed when
+  // prune_redundant is set. All five drivers run the same plan
+  // objects; they differ only in how they schedule it. Station-scoped
+  // nodes are excluded — they run in the station phase (station_plan).
   std::vector<const StageNode*> plan(bool prune_redundant) const;
+
+  // The station-phase plan: the station-scoped nodes in declaration
+  // order, pruned the same way.
+  std::vector<const StageNode*> station_plan(bool prune_redundant) const;
 
   // Shape-only projection in declaration order, for consumers that
   // model the graph rather than execute it (src/sched). Prepends the
@@ -86,8 +104,11 @@ class StageGraph {
   std::vector<StageShape> shape() const;
 
   // Structural audit: unique names, every dep names an earlier node
-  // (declaration order must be topological), and no surviving node
-  // depends on a redundant one (pruning must never sever a live edge).
+  // (declaration order must be topological), no surviving node depends
+  // on a redundant one (pruning must never sever a live edge), each
+  // node carries exactly the factory its scope requires, and no
+  // per-record node depends on a station-scoped one (the station phase
+  // runs strictly after the record fan-out).
   Result<Unit, std::string> verify() const;
 
  private:

@@ -10,6 +10,7 @@
 //   io.<slug>           — IoError                  (filesystem layer)
 //   storage.<slug>      — storage backend layer (circuit breaker)
 //   batch.<slug>        — batch-runner deadline budgets
+//   station.<slug>      — cross-component station consistency checks
 //   stage_crash.<stage> — injected/observed crash of a named stage
 // The slug lists are generated from the enums via each family's slug()
 // function, so a new error code is registered the moment it exists;
@@ -31,12 +32,26 @@ namespace acx::pipeline {
 // Every stage the runner can execute, in chain order (scratch_setup is
 // the executor's own setup step, not a Stage subclass; reparse,
 // fas_preview and repeaks are the redundant stages only the Sequential
-// Original driver runs).
+// Original driver runs; rotd is the station-scoped stage that runs
+// after every per-component stage of its station).
 inline constexpr const char* kStageNames[] = {
     "scratch_setup", "stage_in",  "parse",       "reparse",  "calibrate",
     "demean",        "corners",   "fas_preview", "bandpass", "detrend",
     "integrate",     "peaks",     "repeaks",     "fourier",  "response",
-    "write_v2",
+    "write_v2",      "rotd",
+};
+
+// Cross-component station consistency checks (docs/FORMATS.md,
+// "Component sets"). The first three are pre-scan quarantine reasons
+// (the record never enters the chain); the last two are rollup-only —
+// they explain a skipped station stage in the report's stations block
+// without quarantining any component.
+inline constexpr const char* kStationReasonSlugs[] = {
+    "duplicate_component",  // two inputs claim the same (station, comp)
+    "dt_mismatch",          // components of one station disagree on DT
+    "short_duration",       // npts * dt below the station minimum
+    "missing_component",    // a horizontal needed by rotd is absent
+    "length_mismatch",      // horizontals disagree in sample count
 };
 
 inline const std::vector<std::string>& registered_reasons() {
@@ -62,7 +77,8 @@ inline const std::vector<std::string>& registered_reasons() {
     using XC = spectrum::SpectrumError::Code;
     for (XC c : {XC::kEmptyInput, XC::kTooShort, XC::kNonFinite,
                  XC::kBadSamplingInterval, XC::kBadWindow, XC::kBadPeriod,
-                 XC::kBadDamping, XC::kBadGrid, XC::kNoCorner}) {
+                 XC::kBadDamping, XC::kBadGrid, XC::kNoCorner,
+                 XC::kComponentMismatch, XC::kBadAngleCount}) {
       out.push_back(std::string("spectrum.") + spectrum::slug(c));
     }
     using IC = IoError::Code;
@@ -83,6 +99,9 @@ inline const std::vector<std::string>& registered_reasons() {
     // stands (a quarantine reason).
     out.push_back("batch.deadline_soft");
     out.push_back("batch.deadline_hard");
+    for (const char* slug : kStationReasonSlugs) {
+      out.push_back(std::string("station.") + slug);
+    }
     for (const char* stage : kStageNames) {
       out.push_back(std::string("stage_crash.") + stage);
     }

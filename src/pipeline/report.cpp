@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <string_view>
 
+#include "formats/component_set.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/reasons.hpp"
 
@@ -85,6 +87,7 @@ int RunReport::deadline_hard_stops() const {
 int RunReport::count_retries() const {
   int n = 0;
   for (const auto& r : records) n += r.retries;
+  for (const auto& st : stations) n += st.retries;
   return n;
 }
 
@@ -92,6 +95,9 @@ std::map<std::string, double> RunReport::stage_totals() const {
   std::map<std::string, double> totals;
   for (const auto& r : records) {
     for (const auto& s : r.stages) totals[s.stage] += s.seconds;
+  }
+  for (const auto& st : stations) {
+    for (const auto& s : st.stages) totals[s.stage] += s.seconds;
   }
   return totals;
 }
@@ -110,15 +116,17 @@ std::map<std::string, double> RunReport::stage_shares() const {
 
 std::map<std::string, StageProfile> RunReport::stage_profile() const {
   std::map<std::string, StageProfile> profile;
-  for (const auto& r : records) {
-    for (const auto& s : r.stages) {
+  const auto fold = [&profile](const std::vector<StageAttempt>& stages) {
+    for (const auto& s : stages) {
       StageProfile& p = profile[s.stage];
       p.cache_hits += s.cache_hits;
       p.cache_misses += s.cache_misses;
       p.setup_seconds += s.setup_seconds;
       p.kernel_seconds += s.kernel_seconds;
     }
-  }
+  };
+  for (const auto& r : records) fold(r.stages);
+  for (const auto& st : stations) fold(st.stages);
   return profile;
 }
 
@@ -133,6 +141,14 @@ void RunReport::sort_records() {
               [](const ShedStage& a, const ShedStage& b) {
                 return a.stage < b.stage;
               });
+  }
+  std::sort(stations.begin(), stations.end(),
+            [](const StationOutcome& a, const StationOutcome& b) {
+              return a.station < b.station;
+            });
+  for (StationOutcome& st : stations) {
+    std::sort(st.components.begin(), st.components.end());
+    std::sort(st.checks.begin(), st.checks.end());
   }
 }
 
@@ -161,6 +177,7 @@ std::string RunReport::canonical_dump() const {
   counts.set("ok", count_ok());
   counts.set("degraded", count_degraded());
   counts.set("quarantined", count_quarantined());
+  counts.set("stations", static_cast<int>(stations.size()));
   root.set("counts", std::move(counts));
 
   Json recs = Json::array();
@@ -193,6 +210,33 @@ std::string RunReport::canonical_dump() const {
     recs.push(std::move(jr));
   }
   root.set("records", std::move(recs));
+
+  // v7 stations: the rollup minus timing. Which stations exist, which
+  // components arrived, the station.* checks raised and the rotd
+  // verdict are all interleaving-independent, so they belong to the
+  // canonical projection the driver-equivalence tests diff.
+  Json stats = Json::array();
+  for (const StationOutcome& st : sorted.stations) {
+    Json js = Json::object();
+    js.set("station", st.station);
+    Json comps = Json::array();
+    for (const std::string& c : st.components) comps.push(Json(c));
+    js.set("components", std::move(comps));
+    js.set("ok", st.ok);
+    js.set("quarantined", st.quarantined);
+    if (!st.checks.empty()) {
+      Json checks = Json::array();
+      for (const std::string& c : st.checks) checks.push(Json(c));
+      js.set("checks", std::move(checks));
+    }
+    js.set("rotd_status", st.rotd_status);
+    if (!st.rotd_reason.empty()) js.set("rotd_reason", st.rotd_reason);
+    if (!st.rotd_output.empty()) {
+      js.set("rotd_output", rebase(st.rotd_output, work_dir, "<work>"));
+    }
+    stats.push(std::move(js));
+  }
+  root.set("stations", std::move(stats));
   return root.dump(2);
 }
 
@@ -253,6 +297,7 @@ Json RunReport::to_json() const {
   counts.set("degraded", count_degraded());
   counts.set("quarantined", count_quarantined());
   counts.set("retries", count_retries());
+  counts.set("stations", static_cast<int>(stations.size()));
   root.set("counts", std::move(counts));
 
   Json recs = Json::array();
@@ -301,8 +346,83 @@ Json RunReport::to_json() const {
     recs.push(std::move(jr));
   }
   root.set("records", std::move(recs));
+
+  // v7 stations block: component rollups plus the station-phase rotd
+  // outcome with its own stage attempt groups.
+  Json stats = Json::array();
+  for (const auto& st : stations) {
+    Json js = Json::object();
+    js.set("station", st.station);
+    Json comps = Json::array();
+    for (const std::string& c : st.components) comps.push(Json(c));
+    js.set("components", std::move(comps));
+    js.set("ok", st.ok);
+    js.set("quarantined", st.quarantined);
+    if (!st.checks.empty()) {
+      Json checks = Json::array();
+      for (const std::string& c : st.checks) checks.push(Json(c));
+      js.set("checks", std::move(checks));
+    }
+    js.set("rotd_status", st.rotd_status);
+    if (!st.rotd_reason.empty()) js.set("rotd_reason", st.rotd_reason);
+    if (!st.rotd_output.empty()) js.set("rotd_output", st.rotd_output);
+    js.set("retries", st.retries);
+    js.set("seconds", st.seconds);
+    Json stages = Json::array();
+    for (const auto& s : st.stages) {
+      Json jst = Json::object();
+      jst.set("stage", s.stage);
+      jst.set("attempts", s.attempts);
+      jst.set("ok", s.ok);
+      if (!s.error.empty()) jst.set("error", s.error);
+      jst.set("seconds", s.seconds);
+      jst.set("cache_hits", static_cast<double>(s.cache_hits));
+      jst.set("cache_misses", static_cast<double>(s.cache_misses));
+      jst.set("setup_seconds", s.setup_seconds);
+      jst.set("kernel_seconds", s.kernel_seconds);
+      stages.push(std::move(jst));
+    }
+    js.set("stages", std::move(stages));
+    stats.push(std::move(js));
+  }
+  root.set("stations", std::move(stats));
   return root;
 }
+
+namespace {
+
+// One stages[] attempt-group array, shared by the record and station
+// parsers. Returns an error message, empty on success; a missing or
+// non-array stages field parses as no attempts (old reports).
+std::string parse_stage_attempts(const Json& jr, const std::string& owner,
+                                 std::vector<StageAttempt>& out) {
+  const Json* stages = jr.find("stages");
+  if (!stages || !stages->is_array()) return std::string();
+  for (const Json& js : stages->items()) {
+    StageAttempt s;
+    s.stage = js.get_string("stage");
+    s.attempts = static_cast<int>(js.get_number("attempts", 1));
+    const Json* ok = js.find("ok");
+    s.ok = ok && ok->is_bool() && ok->boolean();
+    s.error = js.get_string("error");
+    s.seconds = js.get_number("seconds", 0);
+    if (s.seconds < 0) {
+      return owner + " stage '" + s.stage + "' has negative seconds";
+    }
+    s.cache_hits = static_cast<long long>(js.get_number("cache_hits", 0));
+    s.cache_misses = static_cast<long long>(js.get_number("cache_misses", 0));
+    s.setup_seconds = js.get_number("setup_seconds", 0);
+    s.kernel_seconds = js.get_number("kernel_seconds", 0);
+    if (s.cache_hits < 0 || s.cache_misses < 0 || s.setup_seconds < 0 ||
+        s.kernel_seconds < 0) {
+      return owner + " stage '" + s.stage + "' has a negative profiling field";
+    }
+    out.push_back(std::move(s));
+  }
+  return std::string();
+}
+
+}  // namespace
 
 Result<RunReport, std::string> RunReport::from_json_text(
     const std::string& text) {
@@ -408,34 +528,141 @@ Result<RunReport, std::string> RunReport::from_json_text(
     r.quarantine = jr.get_string("quarantine");
     r.retries = static_cast<int>(jr.get_number("retries", 0));
     r.seconds = jr.get_number("seconds", 0);
-    if (const Json* stages = jr.find("stages"); stages && stages->is_array()) {
-      for (const Json& js : stages->items()) {
-        StageAttempt s;
-        s.stage = js.get_string("stage");
-        s.attempts = static_cast<int>(js.get_number("attempts", 1));
-        const Json* ok = js.find("ok");
-        s.ok = ok && ok->is_bool() && ok->boolean();
-        s.error = js.get_string("error");
-        s.seconds = js.get_number("seconds", 0);
-        if (s.seconds < 0) {
-          return "record '" + r.record + "' stage '" + s.stage +
-                 "' has negative seconds";
-        }
-        s.cache_hits = static_cast<long long>(js.get_number("cache_hits", 0));
-        s.cache_misses =
-            static_cast<long long>(js.get_number("cache_misses", 0));
-        s.setup_seconds = js.get_number("setup_seconds", 0);
-        s.kernel_seconds = js.get_number("kernel_seconds", 0);
-        if (s.cache_hits < 0 || s.cache_misses < 0 || s.setup_seconds < 0 ||
-            s.kernel_seconds < 0) {
-          return "record '" + r.record + "' stage '" + s.stage +
-                 "' has a negative profiling field";
-        }
-        r.stages.push_back(std::move(s));
-      }
+    if (std::string err =
+            parse_stage_attempts(jr, "record '" + r.record + "'", r.stages);
+        !err.empty()) {
+      return err;
     }
     if (r.record.empty()) return std::string("record entry missing id");
     report.records.push_back(std::move(r));
+  }
+
+  // v7 stations array: parse, then cross-check against the grouping the
+  // record ids derive.
+  const Json* stats = root.find("stations");
+  if (!stats || !stats->is_array()) {
+    return std::string("run report has no stations array");
+  }
+  for (const Json& js : stats->items()) {
+    if (!js.is_object()) return std::string("station entry is not an object");
+    StationOutcome st;
+    st.station = js.get_string("station");
+    if (st.station.empty()) return std::string("station entry missing name");
+    const Json* comps = js.find("components");
+    if (!comps || !comps->is_array()) {
+      return "station '" + st.station + "' has no components array";
+    }
+    for (const Json& jc : comps->items()) {
+      if (!jc.is_string()) {
+        return "station '" + st.station + "' components entry is not a string";
+      }
+      st.components.push_back(jc.str());
+    }
+    st.ok = static_cast<int>(js.get_number("ok", -1));
+    st.quarantined = static_cast<int>(js.get_number("quarantined", -1));
+    if (st.ok < 0 || st.quarantined < 0) {
+      return "station '" + st.station + "' counters are negative or missing";
+    }
+    if (const Json* checks = js.find("checks")) {
+      if (!checks->is_array()) {
+        return "station '" + st.station + "' checks is not an array";
+      }
+      for (const Json& jc : checks->items()) {
+        if (!jc.is_string() || jc.str().rfind("station.", 0) != 0 ||
+            !is_registered_reason(jc.str())) {
+          return "station '" + st.station + "' carries an unregistered check";
+        }
+        st.checks.push_back(jc.str());
+      }
+    }
+    st.rotd_status = js.get_string("rotd_status");
+    st.rotd_reason = js.get_string("rotd_reason");
+    st.rotd_output = js.get_string("rotd_output");
+    if (st.rotd_status == "ok") {
+      if (st.rotd_output.empty() || !st.rotd_reason.empty()) {
+        return "station '" + st.station + "' rotd ok entry is inconsistent";
+      }
+    } else if (st.rotd_status == "skipped" || st.rotd_status == "failed") {
+      if (st.rotd_reason.empty() || !is_registered_reason(st.rotd_reason) ||
+          !st.rotd_output.empty()) {
+        return "station '" + st.station + "' rotd " + st.rotd_status +
+               " entry is inconsistent";
+      }
+    } else {
+      return "station '" + st.station + "' has bad rotd_status '" +
+             st.rotd_status + "'";
+    }
+    st.retries = static_cast<int>(js.get_number("retries", 0));
+    st.seconds = js.get_number("seconds", 0);
+    if (st.retries < 0 || st.seconds < 0) {
+      return "station '" + st.station + "' has negative retries or seconds";
+    }
+    if (std::string err = parse_stage_attempts(
+            js, "station '" + st.station + "'", st.stages);
+        !err.empty()) {
+      return err;
+    }
+    report.stations.push_back(std::move(st));
+  }
+
+  // The stations array must be exactly the grouping the record ids
+  // derive (formats::split_record_id), with matching member rollups.
+  {
+    struct ExpectedStation {
+      std::vector<std::string> components;
+      int ok = 0;
+      int quarantined = 0;
+    };
+    std::map<std::string, ExpectedStation> expected;
+    for (const RecordOutcome& r : report.records) {
+      const auto [name, comp] = formats::split_record_id(r.record);
+      ExpectedStation& e = expected[name];
+      e.components.push_back(comp);
+      if (r.status == RecordOutcome::Status::kOk) {
+        ++e.ok;
+      } else {
+        ++e.quarantined;
+      }
+    }
+    if (report.stations.size() != expected.size()) {
+      return std::string("stations array disagrees with the record grouping");
+    }
+    std::set<std::string> seen_station;
+    for (const StationOutcome& st : report.stations) {
+      if (!seen_station.insert(st.station).second) {
+        return "duplicate station '" + st.station + "'";
+      }
+      auto it = expected.find(st.station);
+      if (it == expected.end()) {
+        return "station '" + st.station + "' matches no record id prefix";
+      }
+      ExpectedStation e = it->second;
+      std::sort(e.components.begin(), e.components.end());
+      std::vector<std::string> got = st.components;
+      std::sort(got.begin(), got.end());
+      if (got != e.components || st.ok != e.ok ||
+          st.quarantined != e.quarantined) {
+        return "station '" + st.station +
+               "' rollup disagrees with the records array";
+      }
+      // A published .rotd needs both horizontal members to have
+      // published — anything else is a doctored report.
+      if (st.rotd_status == "ok") {
+        bool l_ok = false;
+        bool t_ok = false;
+        for (const RecordOutcome& r : report.records) {
+          if (r.status != RecordOutcome::Status::kOk) continue;
+          const auto [name, comp] = formats::split_record_id(r.record);
+          if (name != st.station) continue;
+          if (comp == "l") l_ok = true;
+          if (comp == "t") t_ok = true;
+        }
+        if (!l_ok || !t_ok) {
+          return "station '" + st.station +
+                 "' reports rotd ok without both horizontals";
+        }
+      }
+    }
   }
 
   // Cross-check the counts block against the records array.
@@ -446,7 +673,9 @@ Result<RunReport, std::string> RunReport::from_json_text(
         static_cast<int>(counts->get_number("degraded", -1)) !=
             report.count_degraded() ||
         static_cast<int>(counts->get_number("quarantined", -1)) !=
-            report.count_quarantined()) {
+            report.count_quarantined() ||
+        static_cast<int>(counts->get_number("stations", -1)) !=
+            static_cast<int>(report.stations.size())) {
       return std::string("run report counts disagree with records array");
     }
   } else {

@@ -74,6 +74,30 @@ struct RecordOutcome {
   std::map<std::string, double> ok_stage_seconds() const;
 };
 
+// v7: one station's component rollup plus the outcome of its
+// station-scoped phase (the rotd sweep). Stations are derived from
+// record ids via formats::split_record_id — every record belongs to
+// exactly one station (single-component ids form a station of their
+// own with an empty component suffix).
+struct StationOutcome {
+  std::string station;
+  // Component suffixes present in the input, sorted; duplicates kept.
+  std::vector<std::string> components;
+  int ok = 0;           // members published (degraded included)
+  int quarantined = 0;  // members quarantined
+  // Cross-component consistency flags raised for this station, sorted
+  // registered "station.<slug>" reasons (docs/FORMATS.md).
+  std::vector<std::string> checks;
+  // "ok" (published .rotd) | "skipped" (ineligible: missing/unequal
+  // horizontals, hard deadline) | "failed" (the sweep itself errored).
+  std::string rotd_status = "skipped";
+  std::string rotd_reason;  // registered reason when not ok, else ""
+  std::string rotd_output;  // published .rotd path when ok, else ""
+  std::vector<StageAttempt> stages;  // station-phase attempt groups
+  int retries = 0;
+  double seconds = 0;
+};
+
 // Per-stage aggregate of the v5 profiling fields, summed over records.
 struct StageProfile {
   long long cache_hits = 0;
@@ -96,8 +120,12 @@ struct StageProfile {
 // quarantined), per-record degraded/shed/points, the deadline budget
 // with its soft-shed/hard-stop counters, and the storage circuit
 // breaker's counter deltas for this run (docs/BATCH.md).
+// v7 adds the stations block: per-station component rollups (which
+// suffixes arrived, how many members published), the station.*
+// consistency checks raised, and the station-phase rotd outcome with
+// its own stage attempt groups (docs/PIPELINE.md, "Stations").
 struct RunReport {
-  static constexpr int kVersion = 6;
+  static constexpr int kVersion = 7;
 
   std::string input_dir;
   std::string work_dir;
@@ -116,6 +144,7 @@ struct RunReport {
   int breaker_opens = 0;
   int breaker_half_open_recoveries = 0;
   std::vector<RecordOutcome> records;
+  std::vector<StationOutcome> stations;  // v7, one per station
 
   // v6 event-level status: "quarantined" when the event published
   // nothing (every record quarantined), "degraded" when any surviving
@@ -131,8 +160,9 @@ struct RunReport {
   // deadline, and records stopped by the hard one.
   int deadline_soft_sheds() const;
   int deadline_hard_stops() const;
-  // Wall clock summed per stage name over every record — the numbers
-  // the Table I per-stage benches are driven from.
+  // Wall clock summed per stage name over every record and every
+  // station-phase attempt group — the numbers the Table I per-stage
+  // benches are driven from.
   std::map<std::string, double> stage_totals() const;
   // Each stage's fraction of the summed stage wall clock (0..1). This
   // is how the paper's "Stage IX is 57.2% of the sequential run" claim
@@ -144,7 +174,8 @@ struct RunReport {
   std::map<std::string, StageProfile> stage_profile() const;
 
   // Determinism: records ordered by id, each record's outputs array
-  // sorted. The runner calls this before serializing, so the report is
+  // sorted; stations ordered by name, each station's checks sorted.
+  // The runner calls this before serializing, so the report is
   // byte-stable across drivers and thread interleavings (timings aside).
   void sort_records();
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
+#include <map>
 #include <thread>
 
+#include "formats/component_set.hpp"
 #include "formats/v1.hpp"
 #include "pipeline/executor.hpp"
 #include "pipeline/graph.hpp"
@@ -98,12 +101,194 @@ Result<RunReport, IoError> StageRunner::run_event(const stdfs::path& input_dir,
     slots.push_back(exec.make_slot(input, work_dir));
   }
 
+  // ---- Station pre-scan (docs/FORMATS.md, "Component sets") ----
+  // Cross-component consistency checks on the V1 headers before any
+  // stage runs: records that fail are pre-quarantined with a typed
+  // station.* reason (slot.failed is already set, so the executor skips
+  // their whole chain and finalize() quarantines them). Headers that
+  // cannot be read or parsed are deferred silently — the parse stage
+  // owns those failures and reports them with the richer parse.*
+  // taxonomy. The scan is serial and driver-independent, so the
+  // canonical report stays byte-identical across drivers.
+  std::vector<bool> parsed(slots.size(), false);
+  std::vector<formats::RecordHeader> headers(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    auto rd = run_with_retry<std::string, IoError>(
+        cfg_.retry, cfg_.sleep, [](const IoError& e) { return e.klass; },
+        [&] { return fs_.read_file(inputs[i]); });
+    if (!rd.ok()) continue;
+    auto hdr = formats::read_v1_header(rd.value());
+    if (!hdr.ok()) continue;
+    headers[i] = std::move(hdr).take();
+    parsed[i] = true;
+  }
+
+  // Stations are derived from record ids (formats::split_record_id),
+  // never from header metadata — the grouping must be recomputable from
+  // the report alone. std::map iteration gives station-sorted order.
+  std::map<std::string, std::vector<std::size_t>> station_members;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    station_members[formats::split_record_id(slots[i].outcome.record).first]
+        .push_back(i);
+  }
+
+  std::map<std::string, std::vector<std::string>> station_checks;
+  auto flag = [&station_checks](const std::string& station, const char* slug) {
+    std::vector<std::string>& checks = station_checks[station];
+    std::string reason = std::string("station.") + slug;
+    if (std::find(checks.begin(), checks.end(), reason) == checks.end()) {
+      checks.push_back(reason);
+    }
+    return reason;
+  };
+  auto prequarantine = [&slots](std::size_t i, const std::string& reason,
+                                std::string detail) {
+    if (slots[i].failed) return;  // first reason wins
+    slots[i].failed = true;
+    slots[i].failure =
+        StageError{ErrorClass::kPoison, reason, std::move(detail)};
+  };
+
+  for (const auto& [station, members] : station_members) {
+    // short_duration: the header announces less signal than the floor —
+    // too short for any spectral product to mean anything.
+    for (std::size_t i : members) {
+      if (!parsed[i]) continue;
+      const double duration =
+          headers[i].dt * static_cast<double>(headers[i].npts);
+      if (duration < cfg_.min_station_duration_s) {
+        prequarantine(i, flag(station, "short_duration"),
+                      "header announces " + std::to_string(duration) +
+                          " s of signal; the station floor is " +
+                          std::to_string(cfg_.min_station_duration_s) + " s");
+      }
+    }
+    // duplicate_component: two headers of one station claim the same
+    // component — every claimant quarantines (no way to pick a winner).
+    std::map<std::string, std::vector<std::size_t>> claims;
+    for (std::size_t i : members) {
+      if (parsed[i]) claims[headers[i].component].push_back(i);
+    }
+    for (const auto& [component, claimants] : claims) {
+      if (claimants.size() < 2) continue;
+      const std::string reason = flag(station, "duplicate_component");
+      for (std::size_t i : claimants) {
+        prequarantine(i, reason,
+                      "header claims component '" + component +
+                          "' already claimed by another input of station '" +
+                          station + "'");
+      }
+    }
+    // dt_mismatch: the parsed headers of one station disagree on the
+    // sampling interval — no member is trustworthy, all quarantine.
+    bool have_dt = false;
+    bool mismatch = false;
+    double dt0 = 0;
+    for (std::size_t i : members) {
+      if (!parsed[i]) continue;
+      if (!have_dt) {
+        dt0 = headers[i].dt;
+        have_dt = true;
+      } else if (headers[i].dt != dt0) {
+        mismatch = true;
+      }
+    }
+    if (mismatch) {
+      const std::string reason = flag(station, "dt_mismatch");
+      for (std::size_t i : members) {
+        if (parsed[i]) {
+          prequarantine(i, reason,
+                        "components of station '" + station +
+                            "' disagree on the sampling interval");
+        }
+      }
+    }
+  }
+
   auto scheduler =
       make_scheduler(cfg_.driver, threads, cfg_.keep_going, cfg_.pool);
   scheduler->run(exec, slots, work_dir);
 
+  // ---- Station phase ----
+  // Group the processed slots back into stations, decide eligibility
+  // for the station-scoped stages, and fan the eligible ones out under
+  // the same scheduling policy as the records. Component sample vectors
+  // are borrowed from the record slots (post-detrend corrected
+  // acceleration), so the slots must outlive this phase.
+  std::vector<StationSlot> station_slots;
+  station_slots.reserve(station_members.size());
+  for (const auto& [station, members] : station_members) {
+    StationSlot st;
+    st.ctx.fs = &fs_;
+    st.ctx.out_dir = work_dir / "out";
+    st.ctx.station = station;
+    st.outcome.station = station;
+    if (auto it = station_checks.find(station); it != station_checks.end()) {
+      st.outcome.checks = it->second;
+    }
+    RecordSlot* comp_l = nullptr;
+    RecordSlot* comp_t = nullptr;
+    RecordSlot* comp_v = nullptr;
+    bool any = false;
+    for (std::size_t i : members) {
+      RecordSlot& slot = slots[i];
+      if (!slot.processed) continue;
+      any = true;
+      const auto [name, component] =
+          formats::split_record_id(slot.outcome.record);
+      st.outcome.components.push_back(component);
+      if (slot.outcome.status == RecordOutcome::Status::kOk) {
+        ++st.outcome.ok;
+        if (component == "l") comp_l = &slot;
+        if (component == "t") comp_t = &slot;
+        if (component == "v") comp_v = &slot;
+      } else {
+        ++st.outcome.quarantined;
+      }
+    }
+    // Fail-fast stop: a station none of whose members were processed
+    // has no report entry to roll up.
+    if (!any) continue;
+    // Eligibility for the rotd sweep: both horizontals published, with
+    // equal lengths and sampling intervals. Anything else is a typed
+    // skip — the component records stay published, only the station
+    // product is withheld.
+    const char* skip = nullptr;
+    if (!comp_l || !comp_t) {
+      skip = "missing_component";
+    } else if (comp_l->ctx.record.samples.size() !=
+               comp_t->ctx.record.samples.size()) {
+      skip = "length_mismatch";
+    } else if (comp_l->ctx.record.header.dt != comp_t->ctx.record.header.dt) {
+      skip = "dt_mismatch";
+    }
+    if (skip) {
+      st.outcome.rotd_status = "skipped";
+      st.outcome.rotd_reason = flag(station, skip);
+      st.outcome.checks = station_checks[station];
+    } else {
+      st.ctx.event_id = comp_l->ctx.record.header.event_id;
+      st.ctx.date = comp_l->ctx.record.header.date;
+      st.ctx.dt = comp_l->ctx.record.header.dt;
+      st.ctx.comp_l = &comp_l->ctx.record.samples;
+      st.ctx.comp_t = &comp_t->ctx.record.samples;
+      if (comp_v) st.ctx.comp_v = &comp_v->ctx.record.samples;
+    }
+    station_slots.push_back(std::move(st));
+  }
+  // Collect the eligible slots only after the vector is final — the
+  // scheduler gets stable pointers.
+  std::vector<StationSlot*> eligible;
+  for (StationSlot& st : station_slots) {
+    if (st.outcome.rotd_reason.empty()) eligible.push_back(&st);
+  }
+  scheduler->run_stations(exec, eligible);
+
   for (RecordSlot& slot : slots) {
     if (slot.processed) report.records.push_back(std::move(slot.outcome));
+  }
+  for (StationSlot& st : station_slots) {
+    report.stations.push_back(std::move(st.outcome));
   }
 
   (void)fs_.remove_all(work_dir / "scratch");

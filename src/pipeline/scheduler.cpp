@@ -82,6 +82,17 @@ class PartialParallelScheduler final : public Scheduler {
     for (RecordSlot& slot : slots) exec.finalize(slot, work_dir);
   }
 
+  // Station fan-out: one OpenMP loop over the eligible stations, the
+  // stage-level analogue of the per-stage record loops above.
+  void run_stations(RecordExecutor& exec,
+                    std::vector<StationSlot*>& slots) override {
+    const long long n = static_cast<long long>(slots.size());
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads_)
+    for (long long i = 0; i < n; ++i) {
+      exec.run_station(*slots[static_cast<std::size_t>(i)]);
+    }
+  }
+
  private:
   int threads_;
 };
@@ -113,6 +124,18 @@ class FullParallelScheduler final : public Scheduler {
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads_)
     for (long long i = 0; i < n; ++i) {
       exec.run_record(slots[order[static_cast<std::size_t>(i)]], work_dir);
+    }
+  }
+
+  // Station fan-out mirrors the record fan-out: whole stations across
+  // the team. The rotd kernel's own angle loop is the nested level,
+  // like the response stage's period loop (max_active_levels is 2).
+  void run_stations(RecordExecutor& exec,
+                    std::vector<StationSlot*>& slots) override {
+    const long long n = static_cast<long long>(slots.size());
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads_)
+    for (long long i = 0; i < n; ++i) {
+      exec.run_station(*slots[static_cast<std::size_t>(i)]);
     }
   }
 
@@ -150,6 +173,23 @@ class PoolScheduler final : public Scheduler {
     for (std::size_t idx : order) {
       RecordSlot& slot = slots[idx];
       group.run([&exec, &slot, &work_dir] { exec.run_record(slot, work_dir); });
+    }
+    group.wait();
+  }
+
+  // Station fan-out onto the pool: one task per eligible station, same
+  // one-shot/resident split as the record phase.
+  void run_stations(RecordExecutor& exec,
+                    std::vector<StationSlot*>& slots) override {
+    WorkPool* pool = shared_;
+    std::unique_ptr<WorkPool> transient;
+    if (!pool) {
+      transient = std::make_unique<WorkPool>(threads_);
+      pool = transient.get();
+    }
+    WorkPool::TaskGroup group(*pool);
+    for (StationSlot* slot : slots) {
+      group.run([&exec, slot] { exec.run_station(*slot); });
     }
     group.wait();
   }

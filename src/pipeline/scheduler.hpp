@@ -19,6 +19,16 @@ class Scheduler {
   virtual ~Scheduler() = default;
   virtual void run(RecordExecutor& exec, std::vector<RecordSlot>& slots,
                    const std::filesystem::path& work_dir) = 0;
+
+  // The station phase: runs after every record slot has finalized, over
+  // the slots the runner deemed eligible. The default is serial (the
+  // sequential drivers); the parallel drivers fan stations out the way
+  // they fan records. Outputs are bit-identical either way — the rotd
+  // sweep is static-scheduled and its combination pass is serial.
+  virtual void run_stations(RecordExecutor& exec,
+                            std::vector<StationSlot*>& slots) {
+    for (StationSlot* slot : slots) exec.run_station(*slot);
+  }
 };
 
 // The team size a parallel driver will actually use: `requested` when

@@ -56,6 +56,10 @@ struct SpectrumConfig {
   // paper's inner `omp for` of the fully-parallel driver). 1 keeps the
   // kernel serial; the full driver sets it to the run's team size.
   int response_threads = 1;
+  // Rotation angles of the station-scoped RotD sweep (1° steps over
+  // a half turn by default — see src/spectrum/rotd.hpp). The sweep
+  // fans across response_threads like the response stage.
+  int rotd_angles = 180;
 };
 
 // Per-record working state threaded through the stages. Each record is
@@ -98,6 +102,40 @@ class Stage {
 std::unique_ptr<Stage> make_stage(std::string_view name,
                                   const CorrectionConfig& correction,
                                   const SpectrumConfig& spectrum);
+
+// Station-scoped working state: the per-component chain has finished
+// for every member of the station; the station stages combine the
+// surviving components and publish station-level outputs to out_dir.
+// The component sample vectors point into the owning RecordSlots'
+// contexts (corrected acceleration, cm/s2) — valid for the duration of
+// the station phase, null when that component is absent or failed.
+struct StationContext {
+  FileSystem* fs = nullptr;
+  std::filesystem::path out_dir;
+  std::string station;
+  std::string event_id;
+  std::string date;
+  double dt = 0.0;
+  const std::vector<double>* comp_l = nullptr;
+  const std::vector<double>* comp_t = nullptr;
+  const std::vector<double>* comp_v = nullptr;
+  std::filesystem::path rotd_path;  // set by the rotd stage
+};
+
+// A station-scoped pipeline process. Same contract as Stage, over a
+// StationContext: idempotent, re-entrant, shared across stations and
+// threads by the schedulers.
+class StationStage {
+ public:
+  virtual ~StationStage() = default;
+  virtual const char* name() const = 0;
+  virtual Result<Unit, StageError> run(StationContext& ctx) = 0;
+};
+
+// Instantiate one station-scoped stage by name ("rotd"). Returns
+// nullptr for an unknown name.
+std::unique_ptr<StationStage> make_station_stage(
+    std::string_view name, const SpectrumConfig& spectrum);
 
 // The full original chain (redundant stages included), instantiated in
 // execution order from StageGraph::standard (src/pipeline/graph.hpp):

@@ -12,6 +12,7 @@
 #include "signal/integrate.hpp"
 #include "signal/peaks.hpp"
 #include "signal/timeseries.hpp"
+#include "spectrum/rotd.hpp"
 
 namespace acx::pipeline {
 
@@ -445,7 +446,58 @@ class WriteV2Stage final : public Stage {
   }
 };
 
+// Rotd (station-scoped): orientation-independent RotD00/50/100 + the
+// geometric mean over both horizontal components, published as the
+// station's .rotd output. The runner guarantees comp_l/comp_t are the
+// detrended (corrected) accelerations of surviving members with equal
+// lengths and a shared dt before this stage is dispatched; the kernel
+// still re-checks, so a broken precondition is typed poison, never UB.
+class RotdStage final : public StationStage {
+ public:
+  explicit RotdStage(const SpectrumConfig& cfg) : cfg_(cfg) {}
+  const char* name() const override { return "rotd"; }
+  Result<Unit, StageError> run(StationContext& ctx) override {
+    auto spec =
+        spectrum::rotd_spectrum(*ctx.comp_l, *ctx.comp_t, ctx.dt, cfg_.grid,
+                                cfg_.rotd_angles, cfg_.response_threads);
+    if (!spec.ok()) return from_spectrum(spec.error());
+    spectrum::RotdSpectrum rs = std::move(spec).take();
+
+    formats::RotdRecord rd;
+    rd.station = ctx.station;
+    rd.event_id = ctx.event_id;
+    rd.date = ctx.date;
+    rd.dt = ctx.dt;
+    rd.angles = rs.angles;
+    rd.dampings = std::move(rs.dampings);
+    rd.periods = std::move(rs.periods);
+    rd.rotd00 = std::move(rs.rotd00);
+    rd.rotd50 = std::move(rs.rotd50);
+    rd.rotd100 = std::move(rs.rotd100);
+    rd.geomean = std::move(rs.geomean);
+
+    // Single atomic publish: the station output appears in out/ whole
+    // or not at all, no matter how the component tasks were scheduled.
+    const std::string name =
+        ctx.station + std::string(formats::kRotdExtension);
+    auto out = atomic_write_file(*ctx.fs, ctx.out_dir / name,
+                                 formats::write_rotd(rd));
+    if (!out.ok()) return from_io(out.error());
+    ctx.rotd_path = ctx.out_dir / name;
+    return Unit{};
+  }
+
+ private:
+  SpectrumConfig cfg_;
+};
+
 }  // namespace
+
+std::unique_ptr<StationStage> make_station_stage(
+    std::string_view name, const SpectrumConfig& spectrum) {
+  if (name == "rotd") return std::make_unique<RotdStage>(spectrum);
+  return nullptr;
+}
 
 std::unique_ptr<Stage> make_stage(std::string_view name,
                                   const CorrectionConfig& correction,

@@ -228,6 +228,47 @@ ValidationSummary validate_workdir(FileSystem& fs,
     }
   }
 
+  // v7 station audit. The strict report parser already cross-checked
+  // the rollups (components, ok/quarantined counts) against the record
+  // grouping and the reason registry; here we audit the artifacts.
+  for (const StationOutcome& st : report.stations) {
+    if (st.rotd_status == "ok") {
+      if (st.rotd_output.empty()) {
+        add_issue(summary, "missing_output",
+                  "station " + st.station + " rotd is ok but names no output");
+        continue;
+      }
+      const stdfs::path out_path(st.rotd_output);
+      claimed_out.insert(out_path.filename().string());
+      auto content = fs.read_file(out_path);
+      if (!content.ok()) {
+        add_issue(summary, "missing_output",
+                  "station " + st.station + ": " + content.error().to_string());
+        continue;
+      }
+      // The strict reader enforces the RotD00 <= RotD50 <= RotD100
+      // ordering invariant per cell; the audit adds the identity check.
+      auto rd = formats::read_rotd(content.value());
+      if (!rd.ok()) {
+        add_issue(summary, "corrupt_output",
+                  "station " + st.station + ": " + rd.error().to_string());
+        continue;
+      }
+      if (rd.value().station != st.station) {
+        add_issue(summary, "mismatched_output",
+                  "station " + st.station + ": RD header says '" +
+                      rd.value().station + "'");
+        continue;
+      }
+      ++summary.stations_rotd_ok;
+    } else if (!is_registered_reason(st.rotd_reason)) {
+      add_issue(summary, "unregistered_reason",
+                "station " + st.station + " rotd " + st.rotd_status +
+                    " with reason '" + st.rotd_reason +
+                    "' not in the registry");
+    }
+  }
+
   for (const std::string& name : out_files) {
     if (!claimed_out.count(name)) {
       add_issue(summary, "unexpected_file",

@@ -97,6 +97,43 @@ Result<CostModel, std::string> cost_model_from_report(
     }
     model.records.push_back(std::move(costs));
   }
+
+  // v7 station phase: the station-scoped stages (rotd) are real work
+  // the simulator should schedule. Each station with successful
+  // station-stage attempts contributes one pseudo-row keyed by its
+  // station name, carrying only those costs (the graph builders give a
+  // row without per-record stages no upstream deps, so the row lands
+  // after the record fan-out exactly where the runner puts it). A
+  // station name that collides with a record id is dropped and counted
+  // — merging would corrupt both rows.
+  for (const pipeline::StationOutcome& st : report.stations) {
+    RecordCosts costs;
+    costs.record = st.station;
+    costs.retried = st.retries > 0;
+    for (const pipeline::StageAttempt& s : st.stages) {
+      if (!s.ok) continue;
+      double admitted = 0;
+      if (!admit_cost(s.seconds, opt, admitted, model.floored_costs)) {
+        return "station '" + st.station + "' stage '" + s.stage +
+               "' has a non-finite or negative cost";
+      }
+      costs.stage_seconds[s.stage] += admitted;
+    }
+    if (costs.stage_seconds.empty()) continue;
+    bool collides = false;
+    for (const RecordCosts& r : model.records) {
+      if (r.record == costs.record) {
+        collides = true;
+        break;
+      }
+    }
+    if (collides) {
+      ++model.excluded_station_collisions;
+      continue;
+    }
+    if (costs.retried) ++model.flagged_retried;
+    model.records.push_back(std::move(costs));
+  }
   if (model.records.empty()) {
     return std::string(
         "no usable records: every record was quarantined or degraded "
@@ -176,6 +213,7 @@ void merge_cost_model(CostModel& into, const CostModel& from) {
   for (const MeasuredRun& m : from.measured) into.measured.push_back(m);
   into.excluded_quarantined += from.excluded_quarantined;
   into.excluded_degraded += from.excluded_degraded;
+  into.excluded_station_collisions += from.excluded_station_collisions;
   into.flagged_degraded += from.flagged_degraded;
   into.flagged_retried += from.flagged_retried;
   into.floored_costs += from.floored_costs;

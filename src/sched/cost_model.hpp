@@ -52,6 +52,9 @@ struct CostModel {
   int flagged_degraded = 0;
   int flagged_retried = 0;
   int floored_costs = 0;
+  // v7 station rows whose station name collided with a record id and
+  // were dropped rather than merged into the wrong row.
+  int excluded_station_collisions = 0;
 
   long long total_points() const;
   // Summed cost of one stage across all records (0 when absent).

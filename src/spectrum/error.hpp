@@ -23,6 +23,8 @@ struct SpectrumError {
     kBadDamping,           // damping ratio outside [0, 1)
     kBadGrid,              // empty / non-ascending period or damping grid
     kNoCorner,             // FPL/FSL search found no confirmed crossing
+    kComponentMismatch,    // RotD components disagree in length
+    kBadAngleCount,        // RotD angle count not in [1, 36000]
   };
 
   Code code{};
@@ -43,6 +45,8 @@ inline const char* slug(SpectrumError::Code c) {
     case SpectrumError::Code::kBadDamping: return "bad_damping";
     case SpectrumError::Code::kBadGrid: return "bad_grid";
     case SpectrumError::Code::kNoCorner: return "no_corner";
+    case SpectrumError::Code::kComponentMismatch: return "component_mismatch";
+    case SpectrumError::Code::kBadAngleCount: return "bad_angle_count";
   }
   return "unknown";
 }

@@ -1,0 +1,220 @@
+#include "spectrum/rotd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "spectrum/response_plan.hpp"
+
+namespace acx::spectrum {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Result<Unit, SpectrumError> validate_pair(const std::vector<double>& acc_l,
+                                          const std::vector<double>& acc_t,
+                                          int angles) {
+  if (angles < 1 || angles > kRotdMaxAngles) {
+    return SpectrumError{SpectrumError::Code::kBadAngleCount,
+                         "angle count must be in [1, " +
+                             std::to_string(kRotdMaxAngles) + "]; got " +
+                             std::to_string(angles)};
+  }
+  if (acc_l.size() != acc_t.size()) {
+    return SpectrumError{SpectrumError::Code::kComponentMismatch,
+                         "horizontal components disagree in length: l has " +
+                             std::to_string(acc_l.size()) + " samples, t has " +
+                             std::to_string(acc_t.size())};
+  }
+  if (acc_l.empty()) {
+    return SpectrumError{SpectrumError::Code::kEmptyInput, "no samples"};
+  }
+  if (acc_l.size() < 2) {
+    return SpectrumError{SpectrumError::Code::kTooShort,
+                         "need at least 2 samples"};
+  }
+  // A NaN sample can slip through the peak accumulation (NaN loses
+  // every max comparison), so the sweep checks its inputs up front —
+  // one O(n) pass against an angles x cells x n kernel.
+  for (std::size_t i = 0; i < acc_l.size(); ++i) {
+    if (!std::isfinite(acc_l[i]) || !std::isfinite(acc_t[i])) {
+      return SpectrumError{SpectrumError::Code::kNonFinite,
+                           "input sample " + std::to_string(i) +
+                               " is not finite"};
+    }
+  }
+  return Unit{};
+}
+
+void rotate(const std::vector<double>& acc_l, const std::vector<double>& acc_t,
+            double theta, std::vector<double>& out) {
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  out.resize(acc_l.size());
+  for (std::size_t i = 0; i < acc_l.size(); ++i) {
+    out[i] = acc_l[i] * c + acc_t[i] * s;
+  }
+}
+
+// Percentile combination over the sweep: per cell, RotD00/50/100 are
+// the min / median / max of the `angles` SA values (median of an even
+// count averages the two middle order statistics). `sa_by_angle` is
+// angle-major: angle k's SA for cell i sits at k * cells + i. Serial
+// per cell and independent of how the sweep was threaded.
+void combine(const std::vector<double>& sa_by_angle, int angles,
+             std::size_t cells, RotdSpectrum& out) {
+  const std::size_t na = static_cast<std::size_t>(angles);
+  std::vector<double> column(na);
+  for (std::size_t i = 0; i < cells; ++i) {
+    for (std::size_t k = 0; k < na; ++k) {
+      column[k] = sa_by_angle[k * cells + i];
+    }
+    std::sort(column.begin(), column.end());
+    out.rotd00[i] = column.front();
+    out.rotd100[i] = column.back();
+    out.rotd50[i] = na % 2 == 1
+                        ? column[na / 2]
+                        : 0.5 * (column[na / 2 - 1] + column[na / 2]);
+  }
+}
+
+// The lowest non-finite (angle, cell) pair in the angle-major SA
+// matrix, reported exactly like the serial sweep would have.
+Result<Unit, SpectrumError> check_finite(const std::vector<double>& sa_by_angle,
+                                         int angles, std::size_t cells) {
+  for (int k = 0; k < angles; ++k) {
+    const std::size_t base = static_cast<std::size_t>(k) * cells;
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (!std::isfinite(sa_by_angle[base + i])) {
+        return SpectrumError{SpectrumError::Code::kNonFinite,
+                             "oscillator response is not finite at angle " +
+                                 std::to_string(k) + ", cell " +
+                                 std::to_string(i)};
+      }
+    }
+  }
+  return Unit{};
+}
+
+}  // namespace
+
+Result<RotdSpectrum, SpectrumError> rotd_spectrum(
+    const std::vector<double>& acc_l, const std::vector<double>& acc_t,
+    double dt, const ResponseGrid& grid, int angles, int threads) {
+  auto valid = validate_pair(acc_l, acc_t, angles);
+  if (!valid.ok()) return std::move(valid).take_error();
+
+  // One cached plan serves all `angles` rotated sweeps plus the two
+  // unrotated component sweeps for the geometric mean.
+  auto plan_or = ResponsePlanCache::instance().get(dt, grid);
+  if (!plan_or.ok()) return std::move(plan_or).take_error();
+  const std::shared_ptr<const ResponsePlan> plan = std::move(plan_or).take();
+  const std::size_t cells = plan->cells;
+
+  std::vector<double> sa_by_angle(static_cast<std::size_t>(angles) * cells);
+  std::vector<double> scratch_sd(cells), scratch_sv(cells);
+
+  // Every angle writes only its own SA slice and the combination runs
+  // after the sweep, so the result is bit-identical for any team size
+  // regardless of the schedule; static keeps the work split balanced
+  // (all angles cost the same).
+  const double step = kPi / static_cast<double>(angles);
+#pragma omp parallel for schedule(static) num_threads(threads) \
+    if (threads > 1)
+  for (int k = 0; k < angles; ++k) {
+    std::vector<double> rotated;
+    std::vector<double> sd(cells), sv(cells);
+    rotate(acc_l, acc_t, static_cast<double>(k) * step, rotated);
+    double* sa = sa_by_angle.data() + static_cast<std::size_t>(k) * cells;
+    for (std::size_t begin = 0; begin < cells; begin += kSdofBatchBlock) {
+      const std::size_t end = std::min(cells, begin + kSdofBatchBlock);
+      sdof_peak_response_batch(rotated.data(), rotated.size(), *plan, begin,
+                               end, sd.data(), sv.data(), sa);
+    }
+  }
+
+  auto finite = check_finite(sa_by_angle, angles, cells);
+  if (!finite.ok()) return std::move(finite).take_error();
+
+  RotdSpectrum out;
+  out.periods = grid.periods;
+  out.dampings = grid.dampings;
+  out.angles = angles;
+  out.rotd00.resize(cells);
+  out.rotd50.resize(cells);
+  out.rotd100.resize(cells);
+  out.geomean.resize(cells);
+  combine(sa_by_angle, angles, cells, out);
+
+  // Geometric mean from dedicated unrotated sweeps (angle 0 is l
+  // exactly, but no sweep angle hits t exactly — cos(pi/2) is not a
+  // representable zero — so both components get their own pass).
+  std::vector<double> sa_l(cells), sa_t(cells);
+  for (std::size_t begin = 0; begin < cells; begin += kSdofBatchBlock) {
+    const std::size_t end = std::min(cells, begin + kSdofBatchBlock);
+    sdof_peak_response_batch(acc_l.data(), acc_l.size(), *plan, begin, end,
+                             scratch_sd.data(), scratch_sv.data(), sa_l.data());
+    sdof_peak_response_batch(acc_t.data(), acc_t.size(), *plan, begin, end,
+                             scratch_sd.data(), scratch_sv.data(), sa_t.data());
+  }
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (!std::isfinite(sa_l[i]) || !std::isfinite(sa_t[i])) {
+      return SpectrumError{SpectrumError::Code::kNonFinite,
+                           "component response is not finite at cell " +
+                               std::to_string(i)};
+    }
+    out.geomean[i] = std::sqrt(sa_l[i] * sa_t[i]);
+  }
+  return out;
+}
+
+Result<RotdSpectrum, SpectrumError> rotd_spectrum_reference(
+    const std::vector<double>& acc_l, const std::vector<double>& acc_t,
+    double dt, const ResponseGrid& grid, int angles) {
+  auto valid = validate_pair(acc_l, acc_t, angles);
+  if (!valid.ok()) return std::move(valid).take_error();
+  auto grid_ok = validate_grid(grid);
+  if (!grid_ok.ok()) return std::move(grid_ok).take_error();
+
+  const std::size_t cells = grid.dampings.size() * grid.periods.size();
+  std::vector<double> sa_by_angle(static_cast<std::size_t>(angles) * cells);
+  std::vector<double> rotated;
+  const double step = kPi / static_cast<double>(angles);
+  for (int k = 0; k < angles; ++k) {
+    rotate(acc_l, acc_t, static_cast<double>(k) * step, rotated);
+    const std::size_t base = static_cast<std::size_t>(k) * cells;
+    for (std::size_t d = 0; d < grid.dampings.size(); ++d) {
+      for (std::size_t p = 0; p < grid.periods.size(); ++p) {
+        auto peaks = sdof_peak_response(rotated, dt, grid.periods[p],
+                                        grid.dampings[d]);
+        if (!peaks.ok()) return std::move(peaks).take_error();
+        sa_by_angle[base + d * grid.periods.size() + p] = peaks.value().sa;
+      }
+    }
+  }
+
+  RotdSpectrum out;
+  out.periods = grid.periods;
+  out.dampings = grid.dampings;
+  out.angles = angles;
+  out.rotd00.resize(cells);
+  out.rotd50.resize(cells);
+  out.rotd100.resize(cells);
+  out.geomean.resize(cells);
+  combine(sa_by_angle, angles, cells, out);
+
+  for (std::size_t d = 0; d < grid.dampings.size(); ++d) {
+    for (std::size_t p = 0; p < grid.periods.size(); ++p) {
+      auto l = sdof_peak_response(acc_l, dt, grid.periods[p], grid.dampings[d]);
+      if (!l.ok()) return std::move(l).take_error();
+      auto t = sdof_peak_response(acc_t, dt, grid.periods[p], grid.dampings[d]);
+      if (!t.ok()) return std::move(t).take_error();
+      out.geomean[d * grid.periods.size() + p] =
+          std::sqrt(l.value().sa * t.value().sa);
+    }
+  }
+  return out;
+}
+
+}  // namespace acx::spectrum

@@ -1,0 +1,64 @@
+#pragma once
+
+// Orientation-independent RotD spectra (docs/SPECTRUM.md, "RotD
+// sweep"). The horizontal pair (l, t) of one station is rotated over
+// an angle sweep
+//   a(θ_k) = l·cos θ_k + t·sin θ_k,   θ_k = k · 180° / angles,
+// k = 0 .. angles-1, and the SA of every rotated series is evaluated
+// on the (period, damping) grid with the batched Nigam–Jennings
+// Stage-IX kernel. Per grid cell the percentiles over the sweep give
+// RotD00 (min), RotD50 (median) and RotD100 (max); the geometric mean
+// sqrt(SA_l · SA_t) of the unrotated components rides along. Each
+// angle is independent of every other angle — the sweep is
+// embarrassingly parallel, and the station stage fans it across the
+// driver's OpenMP team / pool worker.
+
+#include <cstddef>
+#include <vector>
+
+#include "spectrum/response.hpp"
+#include "util/result.hpp"
+
+namespace acx::spectrum {
+
+// 1° resolution over [0°, 180°) — rotating by 180° negates the trace
+// and leaves |SA| unchanged, so a half-turn covers every orientation.
+inline constexpr int kRotdDefaultAngles = 180;
+inline constexpr int kRotdMaxAngles = 36000;
+
+// RotD percentile SA spectra, damping-major like ResponseSpectrum.
+struct RotdSpectrum {
+  std::vector<double> periods;
+  std::vector<double> dampings;
+  int angles = 0;
+  std::vector<double> rotd00, rotd50, rotd100;  // SA percentiles, cm/s2
+  std::vector<double> geomean;                  // sqrt(SA_l * SA_t)
+
+  std::size_t index(std::size_t d, std::size_t p) const {
+    return d * periods.size() + p;
+  }
+};
+
+// The batched sweep. Fetches the (dt, grid) ResponsePlan from the
+// process-global cache once and reuses it across all angles (and for
+// the two unrotated component sweeps feeding the geometric mean).
+// `threads > 1` fans the angle loop across an OpenMP team with a
+// static schedule; every angle writes only its own SA slice and the
+// percentile combination is evaluated after the sweep, so the result
+// is bit-identical for any team size. On a non-finite peak the
+// reported cell is the lowest (angle, cell) pair, independent of the
+// team size.
+Result<RotdSpectrum, SpectrumError> rotd_spectrum(
+    const std::vector<double>& acc_l, const std::vector<double>& acc_t,
+    double dt, const ResponseGrid& grid, int angles = kRotdDefaultAngles,
+    int threads = 1);
+
+// Scalar reference: one sdof_peak_response call per (angle, cell),
+// no batching, no plan, no threads. The acceptance contract pins the
+// batched sweep to this to 1e-9 relative (tests/test_rotd.cpp); the
+// bench compares their cost.
+Result<RotdSpectrum, SpectrumError> rotd_spectrum_reference(
+    const std::vector<double>& acc_l, const std::vector<double>& acc_t,
+    double dt, const ResponseGrid& grid, int angles = kRotdDefaultAngles);
+
+}  // namespace acx::spectrum

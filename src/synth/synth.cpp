@@ -29,24 +29,37 @@ std::vector<long> points_per_file(const EventSpec& spec,
                                     std::lround(spec.total_points * s));
   std::vector<long> pts(static_cast<std::size_t>(spec.n_files));
 
-  // Deterministic spread around the even split so files differ in size
-  // (the heterogeneity the fault-tolerance layer has to cope with).
+  // Deterministic spread around the even split so *stations* differ in
+  // size (the heterogeneity the fault-tolerance layer has to cope
+  // with). All members of one station share a length — the RotD sweep
+  // needs equal horizontal sample counts — so the jitter is drawn once
+  // per station and applied to each of its (up to three) components.
   Xoshiro256 rng(cfg.seed ^ 0x5eed5eedULL);
   const long base = total / spec.n_files;
   long assigned = 0;
-  for (int i = 0; i < spec.n_files; ++i) {
+  for (int i = 0; i < spec.n_files; i += 3) {
     const double jitter = 0.6 + 0.8 * rng.next_double();  // 0.6x .. 1.4x
-    long p = std::clamp(std::lround(base * jitter), lo, hi);
-    pts[static_cast<std::size_t>(i)] = p;
-    assigned += p;
+    const long p = std::clamp(std::lround(base * jitter), lo, hi);
+    for (int j = i; j < std::min(i + 3, spec.n_files); ++j) {
+      pts[static_cast<std::size_t>(j)] = p;
+      assigned += p;
+    }
   }
-  // Nudge toward the exact total without leaving [lo, hi].
+  // Nudge toward the exact total without leaving [lo, hi], in whole-
+  // station steps so members keep their shared length. The per-member
+  // truncation can leave a residue smaller than one station's worth of
+  // samples; the totals contract tolerates it.
   long delta = total - assigned;
-  for (int i = 0; delta != 0 && i < spec.n_files; ++i) {
-    long& p = pts[static_cast<std::size_t>(i)];
-    const long step = std::clamp(delta, lo - p, hi - p);
-    p += step;
-    delta -= step;
+  for (int i = 0; delta != 0 && i < spec.n_files; i += 3) {
+    const int members = std::min(3, spec.n_files - i);
+    long& first = pts[static_cast<std::size_t>(i)];
+    const long step =
+        std::clamp(delta / members, lo - first, hi - first);
+    if (step == 0) continue;
+    for (int j = i; j < i + members; ++j) {
+      pts[static_cast<std::size_t>(j)] += step;
+      delta -= step;
+    }
   }
   return pts;
 }
@@ -80,8 +93,14 @@ formats::Record make_record(const EventSpec& spec, const SynthConfig& cfg,
   rec.header.npts = n;
   rec.header.units = "counts";
 
-  // Independent stream per (event seed, file index).
-  std::uint64_t sm = cfg.seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(index + 1);
+  // Independent stream per (event seed, station, component): members of
+  // one station get decorrelated phases (so the RotD sweep has two
+  // genuinely different horizontals to combine) while the same seed
+  // reproduces every sample byte-identically. Keyed by name rather than
+  // file index, so a record keeps its waveform even if the event's file
+  // count changes around it.
+  std::uint64_t sm = cfg.seed ^ fnv1a64(rec.header.station) ^
+                     (fnv1a64(rec.header.component) * 0x9e3779b97f4a7c15ULL);
   Xoshiro256 rng(splitmix64(sm));
 
   // Saragoni–Hart-style envelope: t^2 rise, exponential decay, peaking

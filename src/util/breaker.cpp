@@ -77,11 +77,27 @@ IoError BreakerFileSystem::rejected(const stdfs::path& path) const {
                  path.string(), "storage circuit breaker is open"};
 }
 
+namespace {
+
+// kNotFound is an authoritative answer from a healthy backend (the
+// path simply is not there — e.g. a racing spool consumer claimed it
+// first), so it counts as breaker health, never as a failure.
+template <typename T>
+void record(CircuitBreaker& breaker, const Result<T, IoError>& r) {
+  if (r.ok() || r.error().code == IoError::Code::kNotFound) {
+    breaker.record_success();
+  } else {
+    breaker.record_failure();
+  }
+}
+
+}  // namespace
+
 Result<std::string, IoError> BreakerFileSystem::read_file(
     const stdfs::path& path) {
   if (!breaker_.allow()) return rejected(path);
   auto r = inner_.read_file(path);
-  r.ok() ? breaker_.record_success() : breaker_.record_failure();
+  record(breaker_, r);
   return r;
 }
 
@@ -89,7 +105,7 @@ Result<Unit, IoError> BreakerFileSystem::write_file(const stdfs::path& path,
                                                     std::string_view content) {
   if (!breaker_.allow()) return rejected(path);
   auto r = inner_.write_file(path, content);
-  r.ok() ? breaker_.record_success() : breaker_.record_failure();
+  record(breaker_, r);
   return r;
 }
 
@@ -97,7 +113,7 @@ Result<Unit, IoError> BreakerFileSystem::rename(const stdfs::path& from,
                                                 const stdfs::path& to) {
   if (!breaker_.allow()) return rejected(from);
   auto r = inner_.rename(from, to);
-  r.ok() ? breaker_.record_success() : breaker_.record_failure();
+  record(breaker_, r);
   return r;
 }
 
@@ -105,7 +121,7 @@ Result<Unit, IoError> BreakerFileSystem::create_directories(
     const stdfs::path& path) {
   if (!breaker_.allow()) return rejected(path);
   auto r = inner_.create_directories(path);
-  r.ok() ? breaker_.record_success() : breaker_.record_failure();
+  record(breaker_, r);
   return r;
 }
 
@@ -113,7 +129,7 @@ Result<std::vector<stdfs::path>, IoError> BreakerFileSystem::list_dir(
     const stdfs::path& dir) {
   if (!breaker_.allow()) return rejected(dir);
   auto r = inner_.list_dir(dir);
-  r.ok() ? breaker_.record_success() : breaker_.record_failure();
+  record(breaker_, r);
   return r;
 }
 
@@ -121,14 +137,14 @@ Result<std::vector<stdfs::path>, IoError> BreakerFileSystem::list_tree(
     const stdfs::path& dir) {
   if (!breaker_.allow()) return rejected(dir);
   auto r = inner_.list_tree(dir);
-  r.ok() ? breaker_.record_success() : breaker_.record_failure();
+  record(breaker_, r);
   return r;
 }
 
 Result<Unit, IoError> BreakerFileSystem::remove_all(const stdfs::path& path) {
   if (!breaker_.allow()) return rejected(path);
   auto r = inner_.remove_all(path);
-  r.ok() ? breaker_.record_success() : breaker_.record_failure();
+  record(breaker_, r);
   return r;
 }
 

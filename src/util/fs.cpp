@@ -72,6 +72,13 @@ Result<Unit, IoError> RealFileSystem::rename(const stdfs::path& from,
   std::error_code ec;
   stdfs::rename(from, to, ec);
   if (ec) {
+    // A vanished source is a semantic miss (a racing consumer already
+    // claimed the file), not a storage fault — report it as kNotFound
+    // so callers (and the circuit breaker) can tell the two apart.
+    if (ec == std::errc::no_such_file_or_directory) {
+      return make_error(IoError::Code::kNotFound, ErrorClass::kPoison, from,
+                        "no such file -> " + to.string());
+    }
     return make_error(IoError::Code::kRenameFailed, ErrorClass::kTransient,
                       from, ec.message() + " -> " + to.string());
   }
@@ -94,7 +101,11 @@ Result<std::vector<stdfs::path>, IoError> RealFileSystem::list_dir(
   std::vector<stdfs::path> out;
   for (stdfs::directory_iterator it(dir, ec), end; !ec && it != end;
        it.increment(ec)) {
-    if (it->is_regular_file(ec)) out.push_back(it->path());
+    // Per-entry errors stay local: an entry that vanishes between the
+    // readdir and the stat (a concurrent consumer claimed it) is simply
+    // not part of the listing, not a failure of the listing.
+    std::error_code entry_ec;
+    if (it->is_regular_file(entry_ec)) out.push_back(it->path());
   }
   if (ec) {
     return make_error(IoError::Code::kListFailed, ErrorClass::kTransient, dir,
@@ -110,7 +121,8 @@ Result<std::vector<stdfs::path>, IoError> RealFileSystem::list_tree(
   std::vector<stdfs::path> out;
   for (stdfs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
        it.increment(ec)) {
-    if (it->is_regular_file(ec)) out.push_back(it->path());
+    std::error_code entry_ec;
+    if (it->is_regular_file(entry_ec)) out.push_back(it->path());
   }
   if (ec) {
     return make_error(IoError::Code::kListFailed, ErrorClass::kTransient, dir,

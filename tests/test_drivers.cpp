@@ -96,6 +96,27 @@ TEST(Drivers, AllFourProduceIdenticalOutputsAndQuarantineSets) {
     }
     EXPECT_EQ(expect_q, got_q) << name;
 
+    // Identical station rollups and .rotd bytes. The 8-file event
+    // leaves SS03 with both horizontals published (SS01/SS02 each lost
+    // one to the poison), so the station phase really ran a sweep.
+    ASSERT_EQ(seq.stations.size(), report.stations.size()) << name;
+    bool any_rotd = false;
+    for (std::size_t i = 0; i < seq.stations.size(); ++i) {
+      const StationOutcome& a = seq.stations[i];
+      const StationOutcome& b = report.stations[i];
+      ASSERT_EQ(a.station, b.station) << name;
+      EXPECT_EQ(a.rotd_status, b.rotd_status) << name << " " << a.station;
+      EXPECT_EQ(a.rotd_reason, b.rotd_reason) << name << " " << a.station;
+      if (a.rotd_status != "ok") continue;
+      any_rotd = true;
+      auto left = fs.read_file(a.rotd_output);
+      auto right = fs.read_file(b.rotd_output);
+      ASSERT_TRUE(left.ok() && right.ok()) << name << " " << a.station;
+      EXPECT_EQ(left.value(), right.value())
+          << name << " .rotd differs from seq at station " << a.station;
+    }
+    EXPECT_TRUE(any_rotd) << name << ": no station exercised the sweep";
+
     // Identical survivor bytes for every output (.f/.r/.v2).
     for (std::size_t i = 0; i < seq.records.size(); ++i) {
       const RecordOutcome& a = seq.records[i];

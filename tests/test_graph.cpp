@@ -30,12 +30,16 @@ TEST(StageGraph, StandardTopologyPassesItsOwnAudit) {
 }
 
 TEST(StageGraph, StandardPlanMatchesTheReasonRegistry) {
-  // The full plan (redundant included), prefixed with scratch_setup, is
-  // exactly the registered stage-name table — the quarantine reason
-  // registry and the graph can never drift apart.
+  // The full plan (redundant included), prefixed with scratch_setup and
+  // followed by the station-scoped plan, is exactly the registered
+  // stage-name table — the quarantine reason registry and the graph can
+  // never drift apart.
   const StageGraph g = StageGraph::standard();
   std::vector<std::string> plan = {"scratch_setup"};
   for (const StageNode* n : g.plan(/*prune_redundant=*/false)) {
+    plan.push_back(n->name);
+  }
+  for (const StageNode* n : g.station_plan(/*prune_redundant=*/false)) {
     plan.push_back(n->name);
   }
   std::vector<std::string> table;

@@ -3,6 +3,7 @@
 #include <set>
 #include <string>
 
+#include "pipeline/graph.hpp"
 #include "pipeline/reasons.hpp"
 #include "pipeline/runner.hpp"
 #include "pipeline/stage.hpp"
@@ -55,10 +56,15 @@ TEST(Reasons, UnknownReasonsAreRejected) {
 TEST(Reasons, StageNameTableMatchesTheDefaultChain) {
   // stage_crash.<stage> legality is derived from kStageNames; the table
   // must track the real chain (plus scratch_setup, which the runner
-  // times like a stage but builds outside default_stages).
+  // times like a stage but builds outside default_stages, plus the
+  // station-scoped stages that run after the per-record chain).
   const auto stages = default_stages();
   std::vector<std::string> expected = {"scratch_setup"};
   for (const auto& s : stages) expected.emplace_back(s->name());
+  for (const StageNode* n :
+       StageGraph::standard().station_plan(/*prune_redundant=*/false)) {
+    expected.emplace_back(n->name);
+  }
   std::vector<std::string> table;
   for (const char* name : kStageNames) table.emplace_back(name);
   EXPECT_EQ(table, expected);

@@ -1,0 +1,194 @@
+// The RotD angle-sweep kernel (src/spectrum/rotd.cpp): the batched
+// sweep must match the scalar per-(angle, cell) reference to 1e-9
+// relative, stay bit-identical across OpenMP team sizes, respect the
+// RotD00 <= RotD50 <= RotD100 ordering, be invariant under rotating
+// the input pair by a sweep step, and fail with typed errors on
+// malformed input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "spectrum/response.hpp"
+#include "spectrum/rotd.hpp"
+#include "util/rng.hpp"
+
+namespace acx::spectrum {
+namespace {
+
+constexpr double kDt = 0.01;
+
+// A deterministic band-limited pair: two decorrelated enveloped noise
+// traces, different per component, so the sweep has real structure.
+std::vector<double> make_component(std::uint64_t seed, std::size_t n) {
+  Xoshiro256 rng(seed);
+  std::vector<double> acc(n);
+  double lp = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * kDt;
+    const double envelope = t * std::exp(-1.5 * t);
+    lp += 0.35 * (rng.next_gaussian() - lp);
+    acc[i] = 120.0 * envelope * lp;
+  }
+  return acc;
+}
+
+ResponseGrid small_grid() {
+  ResponseGrid grid;
+  grid.periods = {0.1, 0.2, 0.5, 1.0, 2.0};
+  grid.dampings = {0.02, 0.05};
+  return grid;
+}
+
+TEST(Rotd, BatchedSweepMatchesTheScalarReference) {
+  const auto l = make_component(1, 400);
+  const auto t = make_component(2, 400);
+  const ResponseGrid grid = small_grid();
+
+  auto fast = rotd_spectrum(l, t, kDt, grid, /*angles=*/16);
+  auto slow = rotd_spectrum_reference(l, t, kDt, grid, /*angles=*/16);
+  ASSERT_TRUE(fast.ok()) << fast.error().to_string();
+  ASSERT_TRUE(slow.ok()) << slow.error().to_string();
+
+  const std::size_t cells = grid.periods.size() * grid.dampings.size();
+  ASSERT_EQ(fast.value().rotd50.size(), cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double tol00 = 1e-9 * std::fabs(slow.value().rotd00[i]);
+    const double tol50 = 1e-9 * std::fabs(slow.value().rotd50[i]);
+    const double tol100 = 1e-9 * std::fabs(slow.value().rotd100[i]);
+    EXPECT_NEAR(fast.value().rotd00[i], slow.value().rotd00[i], tol00) << i;
+    EXPECT_NEAR(fast.value().rotd50[i], slow.value().rotd50[i], tol50) << i;
+    EXPECT_NEAR(fast.value().rotd100[i], slow.value().rotd100[i], tol100) << i;
+    EXPECT_NEAR(fast.value().geomean[i], slow.value().geomean[i],
+                1e-9 * std::fabs(slow.value().geomean[i]))
+        << i;
+  }
+}
+
+TEST(Rotd, SweepIsBitIdenticalAcrossThreadCounts) {
+  const auto l = make_component(3, 512);
+  const auto t = make_component(4, 512);
+  const ResponseGrid grid = small_grid();
+
+  auto serial = rotd_spectrum(l, t, kDt, grid, /*angles=*/32, /*threads=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.error().to_string();
+  for (int threads : {2, 3, 8}) {
+    auto teamed = rotd_spectrum(l, t, kDt, grid, 32, threads);
+    ASSERT_TRUE(teamed.ok()) << teamed.error().to_string();
+    // Exact vector equality: every angle writes only its own SA slice
+    // and the percentile combination runs after the sweep, so the team
+    // size must not change a single bit.
+    EXPECT_EQ(serial.value().rotd00, teamed.value().rotd00) << threads;
+    EXPECT_EQ(serial.value().rotd50, teamed.value().rotd50) << threads;
+    EXPECT_EQ(serial.value().rotd100, teamed.value().rotd100) << threads;
+    EXPECT_EQ(serial.value().geomean, teamed.value().geomean) << threads;
+  }
+}
+
+TEST(Rotd, PercentilesAreOrderedAndBracketTheComponents) {
+  const auto l = make_component(5, 400);
+  const auto t = make_component(6, 400);
+  const ResponseGrid grid = small_grid();
+
+  auto rotd = rotd_spectrum(l, t, kDt, grid);
+  ASSERT_TRUE(rotd.ok()) << rotd.error().to_string();
+  auto sa_l = response_spectrum(l, kDt, grid);
+  ASSERT_TRUE(sa_l.ok());
+  for (std::size_t i = 0; i < rotd.value().rotd50.size(); ++i) {
+    EXPECT_LE(rotd.value().rotd00[i], rotd.value().rotd50[i]) << i;
+    EXPECT_LE(rotd.value().rotd50[i], rotd.value().rotd100[i]) << i;
+    EXPECT_GT(rotd.value().rotd00[i], 0.0) << i;
+    // Angle 0 of the sweep is component l exactly, so l's SA is inside
+    // the [RotD00, RotD100] envelope by construction.
+    EXPECT_LE(rotd.value().rotd00[i], sa_l.value().sa[i] + 1e-12) << i;
+    EXPECT_GE(rotd.value().rotd100[i], sa_l.value().sa[i] - 1e-12) << i;
+  }
+}
+
+TEST(Rotd, RotatingTheInputPairByOneSweepStepLeavesPercentilesPut) {
+  // Rotating (l, t) by exactly one sweep step shifts the sweep set by
+  // one slot (the wrapped angle negates the trace, which |SA| ignores),
+  // so the orientation-independent percentiles must not move.
+  const auto l = make_component(7, 400);
+  const auto t = make_component(8, 400);
+  const int angles = 18;
+  const double step = 3.14159265358979323846 / angles;
+  std::vector<double> l2(l.size()), t2(l.size());
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    l2[i] = l[i] * std::cos(step) + t[i] * std::sin(step);
+    t2[i] = -l[i] * std::sin(step) + t[i] * std::cos(step);
+  }
+  const ResponseGrid grid = small_grid();
+  auto a = rotd_spectrum(l, t, kDt, grid, angles);
+  auto b = rotd_spectrum(l2, t2, kDt, grid, angles);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (std::size_t i = 0; i < a.value().rotd50.size(); ++i) {
+    EXPECT_NEAR(a.value().rotd00[i], b.value().rotd00[i],
+                1e-9 * a.value().rotd00[i])
+        << i;
+    EXPECT_NEAR(a.value().rotd50[i], b.value().rotd50[i],
+                1e-9 * a.value().rotd50[i])
+        << i;
+    EXPECT_NEAR(a.value().rotd100[i], b.value().rotd100[i],
+                1e-9 * a.value().rotd100[i])
+        << i;
+  }
+}
+
+TEST(Rotd, GeomeanIsTheRootProductOfTheComponentSpectra) {
+  const auto l = make_component(9, 300);
+  const auto t = make_component(10, 300);
+  const ResponseGrid grid = small_grid();
+
+  auto rotd = rotd_spectrum(l, t, kDt, grid, /*angles=*/4);
+  auto sa_l = response_spectrum(l, kDt, grid);
+  auto sa_t = response_spectrum(t, kDt, grid);
+  ASSERT_TRUE(rotd.ok() && sa_l.ok() && sa_t.ok());
+  for (std::size_t i = 0; i < rotd.value().geomean.size(); ++i) {
+    const double expect = std::sqrt(sa_l.value().sa[i] * sa_t.value().sa[i]);
+    EXPECT_NEAR(rotd.value().geomean[i], expect, 1e-9 * expect) << i;
+  }
+}
+
+TEST(Rotd, MalformedInputsFailWithTypedErrors) {
+  const auto l = make_component(11, 64);
+  const ResponseGrid grid = small_grid();
+
+  std::vector<double> shorter(l.begin(), l.end() - 1);
+  auto mismatch = rotd_spectrum(l, shorter, kDt, grid);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.error().code, SpectrumError::Code::kComponentMismatch);
+
+  for (int bad_angles : {0, -1, kRotdMaxAngles + 1}) {
+    auto bad = rotd_spectrum(l, l, kDt, grid, bad_angles);
+    ASSERT_FALSE(bad.ok()) << bad_angles;
+    EXPECT_EQ(bad.error().code, SpectrumError::Code::kBadAngleCount)
+        << bad_angles;
+  }
+
+  const std::vector<double> empty;
+  auto none = rotd_spectrum(empty, empty, kDt, grid);
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.error().code, SpectrumError::Code::kEmptyInput);
+
+  const std::vector<double> one(1, 1.0);
+  auto tiny = rotd_spectrum(one, one, kDt, grid);
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_EQ(tiny.error().code, SpectrumError::Code::kTooShort);
+
+  std::vector<double> poisoned = l;
+  poisoned[7] = std::numeric_limits<double>::quiet_NaN();
+  auto nan = rotd_spectrum(l, poisoned, kDt, grid);
+  ASSERT_FALSE(nan.ok());
+  EXPECT_EQ(nan.error().code, SpectrumError::Code::kNonFinite);
+
+  // The scalar reference enforces the same contract.
+  auto ref = rotd_spectrum_reference(l, shorter, kDt, grid);
+  ASSERT_FALSE(ref.ok());
+  EXPECT_EQ(ref.error().code, SpectrumError::Code::kComponentMismatch);
+}
+
+}  // namespace
+}  // namespace acx::spectrum

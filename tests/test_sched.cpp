@@ -82,6 +82,20 @@ RunReport sample_report() {
   degraded.shed = {{"response", "batch.deadline_soft"}};
   report.records.push_back(degraded);
 
+  // v7 stations block. These ids carry no l/t/v suffix, so each record
+  // is its own single-component station and the rotd stage is skipped —
+  // exactly what the runner emits; the strict parser cross-checks it.
+  for (const RecordOutcome& r : report.records) {
+    pipeline::StationOutcome st;
+    st.station = r.record;
+    st.components = {""};
+    st.ok = r.status == RecordOutcome::Status::kOk ? 1 : 0;
+    st.quarantined = 1 - st.ok;
+    st.rotd_status = "skipped";
+    st.rotd_reason = "station.missing_component";
+    report.stations.push_back(std::move(st));
+  }
+
   report.sort_records();
   return report;
 }
