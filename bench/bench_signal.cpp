@@ -11,6 +11,8 @@
 #include "signal/fft.hpp"
 #include "signal/fir.hpp"
 #include "signal/integrate.hpp"
+#include "signal/sos.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -88,13 +90,77 @@ void BM_RfftComplexRef(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
+void BM_FftScalarRef(benchmark::State& state) {
+  // The pre-SIMD rfft: same transform as BM_FftPow2 with the split
+  // planes forced off. The BM_FftPow2 / this ratio in the history is
+  // the split-complex win (docs/PERF.md, "SIMD kernels").
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const bool was = acx::simd::enabled();
+  acx::simd::set_enabled(false);
+  for (auto _ : state) {
+    auto spec = acx::signal::rfft(x);
+    benchmark::DoNotOptimize(spec);
+  }
+  acx::simd::set_enabled(was);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// Long-record zero-phase filtering: adaptive taps = largest odd <= n/3
+// (the pipeline's shortening rule applied to a long record), well past
+// kOverlapSaveMinTaps. Direct vs auto (= overlap-save at these sizes)
+// is the crossover ablation; the >= 4x acceptance gate reads these two.
+int long_record_taps(std::int64_t n) {
+  int taps = static_cast<int>(n / 3);
+  return taps % 2 == 0 ? taps - 1 : taps;
+}
+
+void BM_FirFiltfiltDirect(benchmark::State& state) {
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const auto h = acx::signal::design_bandpass(
+      {0.5, 25.0, long_record_taps(state.range(0))}, 0.005);
+  for (auto _ : state) {
+    auto y = acx::signal::filtfilt(h.value(), x,
+                                   acx::signal::ConvolveMethod::kDirect);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_FirOverlapSave(benchmark::State& state) {
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  const auto h = acx::signal::design_bandpass(
+      {0.5, 25.0, long_record_taps(state.range(0))}, 0.005);
+  for (auto _ : state) {
+    auto y = acx::signal::filtfilt(h.value(), x,
+                                   acx::signal::ConvolveMethod::kAuto);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SosFiltFilt(benchmark::State& state) {
+  // The IIR cost ablation: O(n * order) regardless of the band, vs the
+  // FIR path's O(n * taps) (docs/SIGNAL.md, "Butterworth SOS").
+  const auto x = bench_samples(static_cast<std::size_t>(state.range(0)));
+  auto sos = acx::signal::design_butterworth_bandpass({0.5, 25.0, 4}, 0.005);
+  for (auto _ : state) {
+    auto y = acx::signal::filtfilt_sos(sos.value(), x);
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
 }  // namespace
 
 BENCHMARK(BM_FftPow2)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_FftScalarRef)->Name("signal.fft_scalar_ref")->Arg(8192);
 BENCHMARK(BM_FftBluestein)->Arg(8192)->Arg(32768);
 BENCHMARK(BM_RfftComplexRef)->Name("signal.rfft_complex_ref")
     ->Arg(8192)->Arg(32768);
-BENCHMARK(BM_FirBandPass)->Arg(7300)->Arg(35000);
+BENCHMARK(BM_FirBandPass)->Arg(7300)->Arg(35000)->Arg(140000);
+BENCHMARK(BM_FirFiltfiltDirect)->Arg(35000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FirOverlapSave)->Arg(35000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SosFiltFilt)->Arg(7300)->Arg(35000);
 BENCHMARK(BM_CorrectionChain)->Arg(7300)->Arg(35000);
 
 BENCHMARK_MAIN();

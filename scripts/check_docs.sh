@@ -213,6 +213,40 @@ for pair in "kServeShutdownSentinel:src/pipeline/serve.hpp" \
   fi
 done
 
+# 11. The SIMD-toggle / convolution / SOS vocabulary of docs/PERF.md
+#     and docs/SIGNAL.md must keep its anchors in the sources (a rename
+#     of the toggle API or a kernel entry point rots the docs here).
+for pair in "ACX_SIMD:CMakeLists.txt" \
+            "active_kernels:src/util/simd.hpp" \
+            "avx2_supported:src/util/simd.hpp" \
+            "fft_pow2_execute_split:src/signal/fft_plan.hpp" \
+            "kOverlapSaveMinTaps:src/signal/fir.hpp" \
+            "overlap_save_selected:src/signal/fir.hpp" \
+            "kOverlapSave:src/signal/fir.hpp" \
+            "design_butterworth_bandpass:src/signal/sos.hpp" \
+            "filtfilt_sos:src/signal/sos.hpp" \
+            "sdof_peak_response_batch:src/spectrum/response_plan.hpp"; do
+  word=${pair%%:*}; where=${pair#*:}
+  if ! grep -q "$word" "$where"; then
+    echo "docs-rot: SIMD/SOS term '$word' documented in docs/PERF.md or" \
+         "docs/SIGNAL.md is no longer defined in $where" >&2
+    fail=1
+  fi
+done
+
+# 12. Every gated bench name the perf docs cite must still be in the
+#     baseline (a renamed bench would otherwise silently leave the
+#     regression gate while the docs keep promising it's watched).
+for bench in BM_FftPow2 signal.fft_scalar_ref BM_FirBandPass \
+             BM_FirFiltfiltDirect BM_FirOverlapSave BM_SosFiltFilt \
+             spectrum.response spectrum.sdof_batch32 spectrum.rotd_sweep; do
+  if ! grep -q "$bench" bench/baseline.json; then
+    echo "docs-rot: bench '$bench' is cited by the docs but absent from" \
+         "bench/baseline.json (regression gate)" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs-rot check FAILED" >&2
   exit 1

@@ -36,6 +36,16 @@ struct StageError {
 // length, shortened per record to min(taps, largest odd <= n/3) and
 // never below kMinCorrectionTaps (shorter records are signal.too_short
 // poison). See docs/SIGNAL.md.
+// Which filter family the band-pass stage applies: the V2 chain's
+// default windowed-sinc FIR, or the Butterworth SOS filtfilt scenario
+// (the ObsPy-style IIR alternative — docs/SIGNAL.md, "Butterworth SOS
+// band-pass"; selected with acx_process --bandpass butter).
+enum class BandPassKind { kFir, kButterworth };
+
+inline const char* to_string(BandPassKind k) {
+  return k == BandPassKind::kFir ? "fir" : "butter";
+}
+
 struct CorrectionConfig {
   double low_hz = 0.5;    // fallback long-period corner
   double high_hz = 25.0;  // fallback short-period corner
@@ -43,6 +53,12 @@ struct CorrectionConfig {
   // Nominal instrument gain for counts -> cm/s2; replaced by
   // per-station calibration when station metadata lands.
   double counts_to_cms2 = 1.0 / 1000.0;
+  // Filter family of the band-pass stage; kFir is the canonical chain
+  // (the byte-equality contract is defined over it), kButterworth the
+  // ObsPy-parity scenario.
+  BandPassKind bandpass = BandPassKind::kFir;
+  // Analog prototype order of the Butterworth path (ObsPy corners=4).
+  int butter_order = 4;
 };
 
 inline constexpr int kMinCorrectionTaps = 21;

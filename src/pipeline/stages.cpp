@@ -10,6 +10,7 @@
 #include "signal/baseline.hpp"
 #include "signal/fir.hpp"
 #include "signal/integrate.hpp"
+#include "signal/sos.hpp"
 #include "signal/peaks.hpp"
 #include "signal/timeseries.hpp"
 #include "spectrum/rotd.hpp"
@@ -208,10 +209,14 @@ class FasPreviewStage final : public Stage {
   SpectrumConfig cfg_;
 };
 
-// Band-pass: zero-phase windowed-sinc FIR between the record's FPL/FSL
-// corners (fixed instrument band when the search fell back). The
-// design length adapts to short records (min(taps, odd(n/3))); a
-// record too short for even kMinCorrectionTaps is poison.
+// Band-pass: zero-phase filter between the record's FPL/FSL corners
+// (fixed instrument band when the search fell back). The default
+// family is the windowed-sinc FIR, whose design length adapts to
+// short records (min(taps, odd(n/3))); the Butterworth SOS scenario
+// (cfg.bandpass == kButterworth) applies the ObsPy-style IIR filtfilt
+// with the same corners instead. Both paths share the too-short
+// poison rule so quarantine behavior is family-independent; a record
+// too short for even kMinCorrectionTaps is poison.
 class BandPassStage final : public Stage {
  public:
   explicit BandPassStage(const CorrectionConfig& cfg) : cfg_(cfg) {}
@@ -229,18 +234,32 @@ class BandPassStage final : public Stage {
     }
     const double low = ctx.corners ? ctx.corners->fsl_hz : cfg_.low_hz;
     const double high = ctx.corners ? ctx.corners->fpl_hz : cfg_.high_hz;
-    signal::BandPassSpec spec{low, high, taps};
-    auto h = signal::design_bandpass(spec, ctx.record.header.dt);
-    if (!h.ok()) return from_signal(h.error());
-    auto filtered = signal::filtfilt(h.value(), ctx.record.samples);
-    if (!filtered.ok()) return from_signal(filtered.error());
-    ctx.record.samples = std::move(filtered).take();
-
     char buf[128];
-    std::snprintf(buf, sizeof buf,
-                  "bandpass: fir %.4f-%.4f Hz, %d taps, hamming, zero-phase "
-                  "(%s)",
-                  low, high, taps, ctx.corners ? "fsl/fpl" : "fixed band");
+    if (cfg_.bandpass == BandPassKind::kButterworth) {
+      signal::ButterworthSpec spec{low, high, cfg_.butter_order};
+      auto sos = signal::design_butterworth_bandpass(spec,
+                                                     ctx.record.header.dt);
+      if (!sos.ok()) return from_signal(sos.error());
+      auto filtered = signal::filtfilt_sos(sos.value(), ctx.record.samples);
+      if (!filtered.ok()) return from_signal(filtered.error());
+      ctx.record.samples = std::move(filtered).take();
+      std::snprintf(buf, sizeof buf,
+                    "bandpass: butter %.4f-%.4f Hz, order %d, sos, "
+                    "zero-phase (%s)",
+                    low, high, cfg_.butter_order,
+                    ctx.corners ? "fsl/fpl" : "fixed band");
+    } else {
+      signal::BandPassSpec spec{low, high, taps};
+      auto h = signal::design_bandpass(spec, ctx.record.header.dt);
+      if (!h.ok()) return from_signal(h.error());
+      auto filtered = signal::filtfilt(h.value(), ctx.record.samples);
+      if (!filtered.ok()) return from_signal(filtered.error());
+      ctx.record.samples = std::move(filtered).take();
+      std::snprintf(buf, sizeof buf,
+                    "bandpass: fir %.4f-%.4f Hz, %d taps, hamming, "
+                    "zero-phase (%s)",
+                    low, high, taps, ctx.corners ? "fsl/fpl" : "fixed band");
+    }
     ctx.history.push_back(buf);
     ctx.processing.push_back("bandpass");
     return Unit{};

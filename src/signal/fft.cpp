@@ -6,6 +6,7 @@
 
 #include "signal/fft_plan.hpp"
 #include "util/perf.hpp"
+#include "util/simd.hpp"
 
 namespace acx::signal {
 
@@ -27,10 +28,10 @@ std::vector<Complex> bluestein_execute(const std::vector<Complex>& x,
     a[k] = x[k] * c;
   }
 
-  fft_pow2_execute(a, *plan.pow2, false);
+  fft_pow2_execute_dispatch(a, *plan.pow2, false);
   const std::vector<Complex>& bfft = inverse ? plan.bfft_inv : plan.bfft_fwd;
   for (std::size_t k = 0; k < m; ++k) a[k] *= bfft[k];
-  fft_pow2_execute(a, *plan.pow2, true);
+  fft_pow2_execute_dispatch(a, *plan.pow2, true);
 
   std::vector<Complex> out(n);
   const double inv_m = 1.0 / static_cast<double>(m);
@@ -67,7 +68,7 @@ Result<std::vector<Complex>, SignalError> fft(std::vector<Complex> x) {
       plan = FftPlanCache::instance().pow2(x.size());
     }
     perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
-    fft_pow2_execute(x, *plan, false);
+    fft_pow2_execute_dispatch(x, *plan, false);
     return x;
   }
   std::shared_ptr<const BluesteinPlan> plan;
@@ -89,7 +90,7 @@ Result<std::vector<Complex>, SignalError> ifft(std::vector<Complex> x) {
       plan = FftPlanCache::instance().pow2(x.size());
     }
     perf::ScopedTimer kernel(perf::ScopedTimer::kKernel);
-    fft_pow2_execute(x, *plan, true);
+    fft_pow2_execute_dispatch(x, *plan, true);
   } else {
     std::shared_ptr<const BluesteinPlan> plan;
     {
@@ -143,13 +144,31 @@ Result<std::vector<Complex>, SignalError> rfft(const std::vector<double>& x) {
 
   const std::size_t half = n / 2;
   std::vector<Complex> z(half);
-  for (std::size_t j = 0; j < half; ++j) {
-    z[j] = Complex(x[2 * j], x[2 * j + 1]);
-  }
-  if (plan->half_pow2) {
-    fft_pow2_execute(z, *plan->half_pow2, false);
+  if (plan->half_pow2 && simd::enabled() && half >= 2) {
+    // Split-complex fast path: the even/odd packing doubles as the
+    // plane deinterleave, fused with the bit-reversal gather; the
+    // butterflies run on the planes and the natural-order result
+    // interleaves back into z. Bit-identical to the scalar kernel
+    // below (see fft_pow2_execute_split).
+    const Pow2Plan& pp = *plan->half_pow2;
+    std::vector<double> re(half);
+    std::vector<double> im(half);
+    for (std::size_t j = 0; j < half; ++j) {
+      const std::size_t src = pp.bitrev[j];
+      re[j] = x[2 * src];
+      im[j] = x[2 * src + 1];
+    }
+    fft_pow2_execute_split(re.data(), im.data(), pp, false);
+    for (std::size_t j = 0; j < half; ++j) z[j] = Complex(re[j], im[j]);
   } else {
-    z = bluestein_execute(z, *plan->half_bluestein, false);
+    for (std::size_t j = 0; j < half; ++j) {
+      z[j] = Complex(x[2 * j], x[2 * j + 1]);
+    }
+    if (plan->half_pow2) {
+      fft_pow2_execute(z, *plan->half_pow2, false);
+    } else {
+      z = bluestein_execute(z, *plan->half_bluestein, false);
+    }
   }
 
   std::vector<Complex> spec(half + 1);

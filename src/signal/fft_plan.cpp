@@ -8,6 +8,7 @@
 
 #include "signal/fft.hpp"
 #include "util/perf.hpp"
+#include "util/simd.hpp"
 
 namespace acx::signal {
 
@@ -32,6 +33,12 @@ Pow2Plan Pow2Plan::build(std::size_t n) {
           1.0, -2.0 * kPi * static_cast<double>(k) / static_cast<double>(len)));
     }
   }
+  plan.tw_re.resize(plan.twiddle.size());
+  plan.tw_im.resize(plan.twiddle.size());
+  for (std::size_t i = 0; i < plan.twiddle.size(); ++i) {
+    plan.tw_re[i] = plan.twiddle[i].real();
+    plan.tw_im[i] = plan.twiddle[i].imag();
+  }
   return plan;
 }
 
@@ -55,6 +62,113 @@ void fft_pow2_execute(std::vector<Complex>& a, const Pow2Plan& plan,
       }
     }
   }
+}
+
+namespace {
+
+// Split-complex butterfly sweep. Each (len, i) block's lanes are
+// independent outputs, so `#pragma omp simd` across k vectorizes with
+// unit stride; the per-lane arithmetic is exactly the std::complex
+// kernel's finite-path formula — vr = xr*wr - xi*wi, vi = xr*wi +
+// xi*wr, then u +/- v componentwise — in the same order, so results
+// are bit-identical. The inverse conjugates by negating the twiddle
+// imaginary part (sign flips are exact). Instantiated per ISA via the
+// tag so each wrapper compiles the body under its own target options;
+// the AVX2 clone omits "fma" from its target set, keeping
+// -ffp-contract from fusing a multiply-add and changing a rounding.
+template <bool Inverse, typename IsaTag>
+__attribute__((always_inline)) inline void fft_split_body(
+    double* __restrict re, double* __restrict im, const Pow2Plan& plan) {
+  const std::size_t n = plan.n;
+  const double* tw_re_base = plan.tw_re.data();
+  const double* tw_im_base = plan.tw_im.data();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t h = len / 2;
+    const double* wr = tw_re_base + (h - 1);
+    const double* wi = tw_im_base + (h - 1);
+    for (std::size_t i = 0; i < n; i += len) {
+      double* r0 = re + i;
+      double* i0 = im + i;
+      double* r1 = re + i + h;
+      double* i1 = im + i + h;
+#pragma omp simd
+      for (std::size_t k = 0; k < h; ++k) {
+        const double wre = wr[k];
+        const double wim = Inverse ? -wi[k] : wi[k];
+        const double xr = r1[k];
+        const double xi = i1[k];
+        const double vr = xr * wre - xi * wim;
+        const double vi = xr * wim + xi * wre;
+        const double ur = r0[k];
+        const double ui = i0[k];
+        r0[k] = ur + vr;
+        i0[k] = ui + vi;
+        r1[k] = ur - vr;
+        i1[k] = ui - vi;
+      }
+    }
+  }
+}
+
+struct GenericIsa {};
+struct Avx2Isa {};
+
+void fft_split_generic(double* re, double* im, const Pow2Plan& plan,
+                       bool inverse) {
+  if (inverse) {
+    fft_split_body<true, GenericIsa>(re, im, plan);
+  } else {
+    fft_split_body<false, GenericIsa>(re, im, plan);
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void fft_split_avx2(double* re, double* im,
+                                                    const Pow2Plan& plan,
+                                                    bool inverse) {
+  if (inverse) {
+    fft_split_body<true, Avx2Isa>(re, im, plan);
+  } else {
+    fft_split_body<false, Avx2Isa>(re, im, plan);
+  }
+}
+#endif
+
+}  // namespace
+
+void fft_pow2_execute_split(double* re, double* im, const Pow2Plan& plan,
+                            bool inverse) {
+  if (plan.n < 2) return;
+#if defined(__x86_64__) || defined(__i386__)
+  if (simd::avx2_supported()) {
+    fft_split_avx2(re, im, plan, inverse);
+    return;
+  }
+#endif
+  fft_split_generic(re, im, plan, inverse);
+}
+
+void fft_pow2_execute_dispatch(std::vector<Complex>& a, const Pow2Plan& plan,
+                               bool inverse) {
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  if (!simd::enabled()) {
+    fft_pow2_execute(a, plan, inverse);
+    return;
+  }
+  // Layout conversion fused with the bit-reversal permutation (the
+  // gather through bitrev equals the scalar kernel's swap pass, since
+  // bitrev is an involution); butterflies run on the planes, then the
+  // natural-order result interleaves back.
+  std::vector<double> re(n);
+  std::vector<double> im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex c = a[plan.bitrev[i]];
+    re[i] = c.real();
+    im[i] = c.imag();
+  }
+  fft_pow2_execute_split(re.data(), im.data(), plan, inverse);
+  for (std::size_t i = 0; i < n; ++i) a[i] = Complex(re[i], im[i]);
 }
 
 BluesteinPlan BluesteinPlan::build(std::size_t n,

@@ -23,10 +23,13 @@ using Complex = std::complex<double>;
 // every butterfly stage, flattened. Stage `len` (len = 2, 4, ..., n)
 // holds the len/2 factors e^{-2*pi*i*k/len} starting at offset
 // len/2 - 1; the inverse transform conjugates them on the fly (exact).
+// tw_re/tw_im are the same factors as split planes (identical values,
+// converted once at build time) for the split-complex kernel below.
 struct Pow2Plan {
   std::size_t n = 0;
   std::vector<std::uint32_t> bitrev;
-  std::vector<Complex> twiddle;  // n - 1 entries total
+  std::vector<Complex> twiddle;     // n - 1 entries total
+  std::vector<double> tw_re, tw_im;  // split layout of `twiddle`
 
   static Pow2Plan build(std::size_t n);  // n must be a power of two
 };
@@ -65,6 +68,26 @@ struct RfftPlan {
 // must equal plan.n.
 void fft_pow2_execute(std::vector<Complex>& a, const Pow2Plan& plan,
                       bool inverse);
+
+// Split-complex butterflies over separate re[]/im[] planes of length
+// plan.n that are ALREADY in bit-reversed order — callers fuse the
+// permutation into the gather that fills the planes (bitrev is an
+// involution, so re[i] = src[bitrev[i]] equals the swap-pass result).
+// The twiddle multiply uses the same naive (ac - bd, ad + bc) formula
+// and op order as the std::complex kernel, and the inverse direction
+// negates the twiddle imaginary plane (exact), so the output is
+// bit-identical to fft_pow2_execute for finite data — only faster,
+// because the planes vectorize with unit stride and no NaN-recovery
+// branch (docs/PERF.md, "Split-complex FFT"). Output in natural order.
+void fft_pow2_execute_split(double* re, double* im, const Pow2Plan& plan,
+                            bool inverse);
+
+// Same contract as fft_pow2_execute; routes through the split-complex
+// kernel (layout conversion included) when the SIMD toggle is on and
+// through the scalar kernel when it is off. Byte-identical results
+// either way.
+void fft_pow2_execute_dispatch(std::vector<Complex>& a, const Pow2Plan& plan,
+                               bool inverse);
 
 // Process-global, internally-locked, read-mostly plan cache keyed by
 // transform length. Lookups take a shared lock; a miss builds the

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "signal/error.hpp"
@@ -20,6 +21,40 @@ struct BandPassSpec {
 inline constexpr int kMinTaps = 3;
 inline constexpr int kMaxTaps = 32767;
 
+// How convolve_full computes the convolution. kAuto picks direct vs
+// FFT overlap-save with the deterministic cost model documented in
+// docs/PERF.md ("Overlap-save crossover"): a pure function of
+// (taps, n), never of the SIMD toggle or the host CPU, so every build
+// picks the same algorithm and stays byte-identical. The two
+// algorithms round differently, which is why the choice must not
+// depend on anything but the sizes.
+enum class ConvolveMethod {
+  kAuto,
+  kDirect,       // force the blocked time-domain loop
+  kOverlapSave,  // force the FFT block convolution
+};
+
+// Overlap-save is only considered at kOverlapSaveMinTaps taps and
+// above; the correction chain's adaptive rule caps its designs at 101
+// taps (min(taps, odd(n/3))), so record correction always runs the
+// direct path and its outputs are untouched by the crossover.
+inline constexpr std::size_t kOverlapSaveMinTaps = 129;
+
+// True when kAuto picks overlap-save for this (taps, n) pair.
+bool overlap_save_selected(std::size_t taps, std::size_t n);
+
+// Full (length n + taps - 1) causal convolution y = h * x with zero
+// initial conditions on both sides. The direct path accumulates each
+// output in ascending input order — the historical scatter loop's
+// order, kept bit-identical by the blocked SIMD form (it only walks
+// the tap loop backwards so lanes read contiguous input). The
+// overlap-save path (m = smallest power of two >= 4*(taps-1), capped
+// at one block when the record fits) reuses FftPlanCache and costs
+// O(n log taps) instead of O(n * taps).
+std::vector<double> convolve_full(const std::vector<double>& h,
+                                  const std::vector<double>& x,
+                                  ConvolveMethod method = ConvolveMethod::kAuto);
+
 // Symmetric (linear-phase) coefficient vector of length spec.taps,
 // normalized to unit single-pass gain at the geometric-centre frequency
 // sqrt(low * high). Errors: bad dt, corners outside 0 < low < high <
@@ -30,8 +65,10 @@ Result<std::vector<double>, SignalError> design_bandpass(
 // Zero-phase (forward-backward) application: y = reverse(h * reverse(
 // h * x)) with zero initial conditions, trimmed back to x.size(). The
 // effective response is |H(f)|^2 (zero phase, doubled attenuation).
-// Requires x.size() >= h.size(); verifies the output is finite.
+// Requires x.size() >= h.size(); verifies the output is finite. Each
+// pass convolves with `method` (kAuto = the crossover above).
 Result<std::vector<double>, SignalError> filtfilt(
-    const std::vector<double>& h, const std::vector<double>& x);
+    const std::vector<double>& h, const std::vector<double>& x,
+    ConvolveMethod method = ConvolveMethod::kAuto);
 
 }  // namespace acx::signal

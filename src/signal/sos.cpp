@@ -1,0 +1,169 @@
+#include "signal/sos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <string>
+
+namespace acx::signal {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+using Cplx = std::complex<double>;
+
+// Digital denominator (1, a1, a2) of one section from its two digital
+// poles — either a conjugate pair or two reals; both make the
+// coefficients real (tiny imaginary residue from the complex
+// arithmetic is dropped explicitly).
+Biquad section_from_poles(const Cplx& z1, const Cplx& z2) {
+  Biquad s;
+  s.a1 = -(z1 + z2).real();
+  s.a2 = (z1 * z2).real();
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Biquad>, SignalError> design_butterworth_bandpass(
+    const ButterworthSpec& spec, double dt) {
+  if (!std::isfinite(dt) || dt <= 0) {
+    return SignalError{SignalError::Code::kBadSamplingInterval,
+                       "dt must be finite and positive"};
+  }
+  if (spec.order < kMinSosOrder || spec.order > kMaxSosOrder) {
+    return SignalError{SignalError::Code::kBadTaps,
+                       "butterworth order must be in [" +
+                           std::to_string(kMinSosOrder) + ", " +
+                           std::to_string(kMaxSosOrder) + "]; got " +
+                           std::to_string(spec.order)};
+  }
+  const double nyquist = 0.5 / dt;
+  if (!std::isfinite(spec.low_hz) || !std::isfinite(spec.high_hz) ||
+      spec.low_hz <= 0 || spec.low_hz >= spec.high_hz ||
+      spec.high_hz >= nyquist) {
+    return SignalError{
+        SignalError::Code::kBadCorners,
+        "corners must satisfy 0 < low < high < Nyquist (" +
+            std::to_string(nyquist) + " Hz); got [" +
+            std::to_string(spec.low_hz) + ", " + std::to_string(spec.high_hz) +
+            "]"};
+  }
+
+  const int order = spec.order;
+  const double c = 2.0 / dt;  // bilinear constant
+  // Pre-warped analog corners: the bilinear map compresses the
+  // frequency axis, so the analog design uses (2/dt)*tan(pi*f*dt) to
+  // land the digital corners exactly on low_hz/high_hz.
+  const double wl = c * std::tan(kPi * spec.low_hz * dt);
+  const double wh = c * std::tan(kPi * spec.high_hz * dt);
+  const double bw = wh - wl;
+  const double w0sq = wl * wh;
+
+  // Analog prototype poles on the unit circle's left half,
+  // p_k = e^{i*pi*(2k+N+1)/(2N)}; the band-pass substitution
+  // s_lp -> (s^2 + w0^2)/(bw*s) sends each to the two roots of
+  // s^2 - p*bw*s + w0^2 = 0. Conjugate prototype poles map to
+  // conjugate root sets, so pairing root r of p with the matching
+  // root of conj(p) (which is conj(r)) gives real sections; the odd
+  // order's real prototype pole yields one real-coefficient section
+  // on its own.
+  std::vector<Biquad> sos;
+  sos.reserve(static_cast<std::size_t>(order));
+  auto digital_pole = [c](const Cplx& s) { return (c + s) / (c - s); };
+  for (int k = 0; k < (order + 1) / 2; ++k) {
+    const double theta =
+        kPi * static_cast<double>(2 * k + order + 1) / (2.0 * order);
+    const Cplx p{std::cos(theta), std::sin(theta)};
+    const Cplx pb = p * bw;
+    const Cplx disc = std::sqrt(pb * pb - 4.0 * w0sq);
+    const Cplx q1 = (pb + disc) * 0.5;
+    const Cplx q2 = (pb - disc) * 0.5;
+    if (2 * k + 1 == order) {
+      // Real prototype pole (odd order): q1, q2 are conjugates or
+      // both real — one section holds both.
+      sos.push_back(section_from_poles(digital_pole(q1), digital_pole(q2)));
+    } else {
+      // q paired with its conjugate from the mirror prototype pole.
+      const Cplx zq1 = digital_pole(q1);
+      const Cplx zq2 = digital_pole(q2);
+      sos.push_back(section_from_poles(zq1, std::conj(zq1)));
+      sos.push_back(section_from_poles(zq2, std::conj(zq2)));
+    }
+  }
+
+  // The 2N analog zeros (N at s=0 -> z=1, N at s=inf -> z=-1) give
+  // every section the numerator (z-1)(z+1)/z^2, i.e. (1, 0, -1).
+  for (Biquad& s : sos) {
+    s.b0 = 1.0;
+    s.b1 = 0.0;
+    s.b2 = -1.0;
+  }
+
+  // Unit gain at the digital geometric-centre frequency (the FIR
+  // design's normalization point), spread evenly across the sections
+  // so no intermediate stage amplifies.
+  const double f0 = std::sqrt(spec.low_hz * spec.high_hz) * dt;
+  const Cplx e1 = std::polar(1.0, -2.0 * kPi * f0);
+  const Cplx e2 = e1 * e1;
+  Cplx resp{1.0, 0.0};
+  for (const Biquad& s : sos) {
+    resp *= (s.b0 + s.b1 * e1 + s.b2 * e2) / (1.0 + s.a1 * e1 + s.a2 * e2);
+  }
+  const double gain = std::abs(resp);
+  if (!(gain > 1e-12)) {
+    return SignalError{SignalError::Code::kBadCorners,
+                       "degenerate band: centre-frequency gain is ~0"};
+  }
+  const double per_section =
+      std::pow(gain, -1.0 / static_cast<double>(sos.size()));
+  for (Biquad& s : sos) {
+    s.b0 *= per_section;
+    s.b1 *= per_section;
+    s.b2 *= per_section;
+  }
+  return sos;
+}
+
+std::vector<double> sosfilt(const std::vector<Biquad>& sos,
+                            const std::vector<double>& x) {
+  std::vector<double> y = x;
+  for (const Biquad& s : sos) {
+    double z1 = 0.0;
+    double z2 = 0.0;
+    for (double& v : y) {
+      const double xi = v;
+      const double yi = s.b0 * xi + z1;
+      z1 = s.b1 * xi - s.a1 * yi + z2;
+      z2 = s.b2 * xi - s.a2 * yi;
+      v = yi;
+    }
+  }
+  return y;
+}
+
+Result<std::vector<double>, SignalError> filtfilt_sos(
+    const std::vector<Biquad>& sos, const std::vector<double>& x) {
+  if (sos.empty()) {
+    return SignalError{SignalError::Code::kBadTaps, "empty SOS cascade"};
+  }
+  if (x.empty()) {
+    return SignalError{SignalError::Code::kEmptyInput, "no samples to filter"};
+  }
+  std::vector<double> y = sosfilt(sos, x);
+  std::reverse(y.begin(), y.end());
+  y = sosfilt(sos, y);
+  std::reverse(y.begin(), y.end());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (!std::isfinite(y[i])) {
+      return SignalError{SignalError::Code::kNonFinite,
+                         "filter output sample " + std::to_string(i) +
+                             " is not finite"};
+    }
+  }
+  return y;
+}
+
+}  // namespace acx::signal

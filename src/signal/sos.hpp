@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "signal/error.hpp"
+#include "util/result.hpp"
+
+namespace acx::signal {
+
+// Butterworth band-pass in second-order sections (SOS) — the
+// ObsPy-style IIR alternative to the windowed-sinc FIR correction
+// path (docs/SIGNAL.md, "Butterworth SOS band-pass"). The bilinear
+// design runs once per (corners, dt); application is O(n * sections)
+// regardless of the band, which is the cost ablation against the FIR
+// path (BM_SosFiltFilt vs BM_FirBandPass).
+
+// One second-order section, direct-form II transposed, with the
+// denominator normalized to a0 == 1:
+//   y[i] = b0*x[i] + z1
+//   z1   = b1*x[i] - a1*y[i] + z2
+//   z2   = b2*x[i] - a2*y[i]
+struct Biquad {
+  double b0 = 0.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+// Analog prototype order N; the band-pass transform doubles it, so
+// the digital filter has N sections and 2N poles (ObsPy's
+// bandpass(corners=4) equivalent).
+struct ButterworthSpec {
+  double low_hz = 0.0;   // lower pass-band corner, Hz
+  double high_hz = 0.0;  // upper pass-band corner, Hz
+  int order = 4;         // analog prototype order
+};
+
+inline constexpr int kMinSosOrder = 1;
+inline constexpr int kMaxSosOrder = 16;
+
+// Bilinear-transform Butterworth band-pass: prototype poles
+// e^{i*pi*(2k+N+1)/(2N)}, corners pre-warped with (2/dt)*tan(pi*f*dt),
+// quadratic band-pass substitution, bilinear map z = (2/dt+s)/(2/dt-s),
+// conjugate poles paired per section, numerator (1, 0, -1) per section
+// (one zero at z=1 and one at z=-1 each), gain normalized to unit
+// magnitude at the digital geometric-centre frequency sqrt(low*high) —
+// the same normalization point as the FIR design. Errors: bad dt,
+// corners outside 0 < low < high < Nyquist, order out of
+// [kMinSosOrder, kMaxSosOrder].
+Result<std::vector<Biquad>, SignalError> design_butterworth_bandpass(
+    const ButterworthSpec& spec, double dt);
+
+// Single causal pass through the cascade, zero initial conditions.
+std::vector<double> sosfilt(const std::vector<Biquad>& sos,
+                            const std::vector<double>& x);
+
+// Zero-phase application, ObsPy zerophase=True semantics: causal pass,
+// time reversal, second causal pass, reversal back — no padding, zero
+// initial conditions on both passes. The effective response is
+// |H(f)|^2. Verifies the output is finite (an unstable section or
+// non-finite input surfaces as kNonFinite, never silently).
+Result<std::vector<double>, SignalError> filtfilt_sos(
+    const std::vector<Biquad>& sos, const std::vector<double>& x);
+
+}  // namespace acx::signal

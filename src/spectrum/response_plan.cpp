@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "util/perf.hpp"
+#include "util/simd.hpp"
 
 namespace acx::spectrum {
 
@@ -56,10 +57,15 @@ Result<std::shared_ptr<const ResponsePlan>, SpectrumError> ResponsePlan::build(
   return std::shared_ptr<const ResponsePlan>(std::move(plan));
 }
 
-void sdof_peak_response_batch(const double* acc, std::size_t n,
-                              const ResponsePlan& plan,
-                              std::size_t cell_begin, std::size_t cell_end,
-                              double* sd, double* sv, double* sa) {
+namespace {
+
+// The original scalar batch loop, kept verbatim: the ACX_SIMD=OFF
+// path and the bit-identity oracle of the explicit-SIMD variants
+// below (tests/test_simd.cpp runs both and memcmp's the peaks).
+void sdof_batch_scalar(const double* acc, std::size_t n,
+                       const ResponsePlan& plan, std::size_t cell_begin,
+                       std::size_t cell_end, double* sd, double* sv,
+                       double* sa) {
   for (std::size_t start = cell_begin; start < cell_end;
        start += kSdofBatchBlock) {
     const std::size_t b = std::min(kSdofBatchBlock, cell_end - start);
@@ -102,6 +108,129 @@ void sdof_peak_response_batch(const double* acc, std::size_t n,
       sa[start + j] = psa[j];
     }
   }
+}
+
+// Explicit-SIMD body: same arithmetic, same per-lane op order, with
+// `#pragma omp simd` asserting lane independence so the compiler
+// vectorizes the block loop without a runtime dependence check, and a
+// full-width specialization so the common whole-block case uses a
+// compile-time trip count. Vector lanes are separate oscillators, so
+// the result is bit-identical to the scalar loop; the peak updates
+// compile to compare+blend (or maxpd — psd/psv/psa are never NaN, and
+// max(abs, peak) keeps the peak when abs is NaN, matching the scalar
+// compare-false path). Instantiated per ISA via the tag parameter and
+// always_inline so each wrapper compiles the body with its own target
+// options; the AVX2 clone deliberately omits "fma" from its target
+// set so -ffp-contract can never fuse a multiply-add and change a
+// rounding.
+template <typename IsaTag>
+__attribute__((always_inline)) inline void sdof_batch_simd_body(
+    const double* acc, std::size_t n, const ResponsePlan& plan,
+    std::size_t cell_begin, std::size_t cell_end, double* sd, double* sv,
+    double* sa) {
+  for (std::size_t start = cell_begin; start < cell_end;
+       start += kSdofBatchBlock) {
+    const std::size_t b = std::min(kSdofBatchBlock, cell_end - start);
+    const double* a11 = plan.a11.data() + start;
+    const double* a12 = plan.a12.data() + start;
+    const double* a21 = plan.a21.data() + start;
+    const double* a22 = plan.a22.data() + start;
+    const double* b11 = plan.b11.data() + start;
+    const double* b12 = plan.b12.data() + start;
+    const double* b21 = plan.b21.data() + start;
+    const double* b22 = plan.b22.data() + start;
+    const double* two_zw = plan.two_zw.data() + start;
+    const double* w2 = plan.w2.data() + start;
+
+    double x[kSdofBatchBlock] = {};
+    double v[kSdofBatchBlock] = {};
+    double psd[kSdofBatchBlock] = {};
+    double psv[kSdofBatchBlock] = {};
+    double psa[kSdofBatchBlock] = {};
+
+    if (b == kSdofBatchBlock) {
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double acc0 = acc[i];
+        const double acc1 = acc[i + 1];
+#pragma omp simd
+        for (std::size_t j = 0; j < kSdofBatchBlock; ++j) {
+          const double x1 = a11[j] * x[j] + a12[j] * v[j] + b11[j] * acc0 +
+                            b12[j] * acc1;
+          const double v1 = a21[j] * x[j] + a22[j] * v[j] + b21[j] * acc0 +
+                            b22[j] * acc1;
+          x[j] = x1;
+          v[j] = v1;
+          const double abs_acc = std::fabs(two_zw[j] * v1 + w2[j] * x1);
+          if (std::fabs(x1) > psd[j]) psd[j] = std::fabs(x1);
+          if (std::fabs(v1) > psv[j]) psv[j] = std::fabs(v1);
+          if (abs_acc > psa[j]) psa[j] = abs_acc;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double acc0 = acc[i];
+        const double acc1 = acc[i + 1];
+#pragma omp simd
+        for (std::size_t j = 0; j < b; ++j) {
+          const double x1 = a11[j] * x[j] + a12[j] * v[j] + b11[j] * acc0 +
+                            b12[j] * acc1;
+          const double v1 = a21[j] * x[j] + a22[j] * v[j] + b21[j] * acc0 +
+                            b22[j] * acc1;
+          x[j] = x1;
+          v[j] = v1;
+          const double abs_acc = std::fabs(two_zw[j] * v1 + w2[j] * x1);
+          if (std::fabs(x1) > psd[j]) psd[j] = std::fabs(x1);
+          if (std::fabs(v1) > psv[j]) psv[j] = std::fabs(v1);
+          if (abs_acc > psa[j]) psa[j] = abs_acc;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < b; ++j) {
+      sd[start + j] = psd[j];
+      sv[start + j] = psv[j];
+      sa[start + j] = psa[j];
+    }
+  }
+}
+
+struct GenericIsa {};
+struct Avx2Isa {};
+
+void sdof_batch_simd(const double* acc, std::size_t n,
+                     const ResponsePlan& plan, std::size_t cell_begin,
+                     std::size_t cell_end, double* sd, double* sv,
+                     double* sa) {
+  sdof_batch_simd_body<GenericIsa>(acc, n, plan, cell_begin, cell_end, sd, sv,
+                                   sa);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+__attribute__((target("avx2"))) void sdof_batch_avx2(
+    const double* acc, std::size_t n, const ResponsePlan& plan,
+    std::size_t cell_begin, std::size_t cell_end, double* sd, double* sv,
+    double* sa) {
+  sdof_batch_simd_body<Avx2Isa>(acc, n, plan, cell_begin, cell_end, sd, sv,
+                                sa);
+}
+#endif
+
+}  // namespace
+
+void sdof_peak_response_batch(const double* acc, std::size_t n,
+                              const ResponsePlan& plan,
+                              std::size_t cell_begin, std::size_t cell_end,
+                              double* sd, double* sv, double* sa) {
+  if (simd::enabled()) {
+#if defined(__x86_64__) || defined(__i386__)
+    if (simd::avx2_supported()) {
+      sdof_batch_avx2(acc, n, plan, cell_begin, cell_end, sd, sv, sa);
+      return;
+    }
+#endif
+    sdof_batch_simd(acc, n, plan, cell_begin, cell_end, sd, sv, sa);
+    return;
+  }
+  sdof_batch_scalar(acc, n, plan, cell_begin, cell_end, sd, sv, sa);
 }
 
 struct ResponsePlanCache::Impl {

@@ -1,0 +1,49 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef ACX_SIMD_DEFAULT
+#define ACX_SIMD_DEFAULT 1
+#endif
+
+namespace acx::simd {
+
+namespace {
+
+bool initial_state() {
+  if (const char* env = std::getenv("ACX_SIMD")) {
+    if (std::strcmp(env, "0") == 0) return false;
+    if (std::strcmp(env, "1") == 0) return true;
+  }
+  return ACX_SIMD_DEFAULT != 0;
+}
+
+std::atomic<bool>& state() {
+  static std::atomic<bool> on{initial_state()};
+  return on;
+}
+
+}  // namespace
+
+bool compiled_default() { return ACX_SIMD_DEFAULT != 0; }
+
+bool avx2_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool enabled() { return state().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { state().store(on, std::memory_order_relaxed); }
+
+const char* active_kernels() {
+  if (!enabled()) return "scalar";
+  return avx2_supported() ? "simd+avx2" : "simd";
+}
+
+}  // namespace acx::simd

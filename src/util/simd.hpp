@@ -1,0 +1,35 @@
+#pragma once
+
+namespace acx::simd {
+
+// The explicit-SIMD kernel toggle (docs/PERF.md, "SIMD kernels").
+//
+// The ACX_SIMD CMake option picks the process default at build time;
+// the ACX_SIMD environment variable (0/1, read once at first query)
+// and set_enabled() below override it at run time. Every SIMD kernel
+// in src/signal and src/spectrum is bit-identical to the scalar path
+// it replaces — vectorization only runs across independent lanes and
+// preserves the scalar op order, and the AVX2 clones are compiled
+// without FMA so no contraction can change a rounding — so flipping
+// the toggle (or running on a non-AVX2 host) never changes a single
+// output byte, only the speed.
+
+// The build-time default (the ACX_SIMD CMake option).
+bool compiled_default();
+
+// True when this CPU can run the guarded AVX2 kernel clones.
+bool avx2_supported();
+
+// The process-wide runtime switch. Starts from the environment
+// override when present, else the compiled default.
+bool enabled();
+
+// Test hook: force the toggle for the current process (the
+// scalar-vs-SIMD bit-identity tests flip it around each kernel).
+void set_enabled(bool on);
+
+// Human-readable description of the kernels the current state
+// selects: "scalar", "simd", or "simd+avx2".
+const char* active_kernels();
+
+}  // namespace acx::simd

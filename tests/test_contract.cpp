@@ -101,6 +101,56 @@ TEST(Contract, WorkedExamplePeaksMatchSignalDoc) {
   }
 }
 
+TEST(Contract, WorkedExampleSosPeaksMatchSignalDoc) {
+  // The Butterworth SOS scenario over the same dataset (docs/SIGNAL.md,
+  // "Butterworth SOS band-pass"): the doc's SOS_PGA/SOS_PGV/SOS_PGD
+  // lines must match the --bandpass butter chain to 1e-6 relative.
+  RealFileSystem fs;
+  auto doc = fs.read_file(std::filesystem::path(ACX_SOURCE_DIR) / "docs" /
+                          "SIGNAL.md");
+  ASSERT_TRUE(doc.ok()) << "docs/SIGNAL.md missing";
+
+  test::TempDir tmp("contract_sos");
+  const auto input = tmp.path() / "input";
+  const auto work = tmp.path() / "work";
+  synth::EventSpec spec = synth::paper_events()[0];
+  synth::SynthConfig synth_cfg;
+  synth_cfg.seed = 42;
+  synth_cfg.scale = 0.02;
+  ASSERT_TRUE(synth::build_event_dataset(fs, input, spec, synth_cfg).ok());
+
+  pipeline::RunnerConfig cfg;
+  cfg.sleep = [](int) {};
+  cfg.correction.bandpass = pipeline::BandPassKind::kButterworth;
+  auto run = pipeline::run_pipeline(fs, input, work, cfg);
+  ASSERT_TRUE(run.ok()) << run.error().to_string();
+  ASSERT_EQ(run.value().count_quarantined(), 0);
+
+  auto content = fs.read_file(work / "out" / "SS01l.v2");
+  ASSERT_TRUE(content.ok());
+  auto v2 = formats::read_v2(content.value());
+  ASSERT_TRUE(v2.ok()) << v2.error().to_string();
+  ASSERT_TRUE(v2.value().peaks.present);
+
+  const struct {
+    const char* tag;
+    formats::PeakEntry got;
+  } kChecks[] = {
+      {"SOS_PGA", v2.value().peaks.pga},
+      {"SOS_PGV", v2.value().peaks.pgv},
+      {"SOS_PGD", v2.value().peaks.pgd},
+  };
+  for (const auto& check : kChecks) {
+    SCOPED_TRACE(check.tag);
+    double doc_value = 0, doc_time = 0;
+    ASSERT_TRUE(find_peak_line(doc.value(), check.tag, doc_value, doc_time))
+        << "docs/SIGNAL.md has no '" << check.tag << " <value> <time>' line";
+    EXPECT_NEAR(check.got.value, doc_value,
+                1e-6 * std::fabs(doc_value) + 1e-12);
+    EXPECT_NEAR(check.got.time, doc_time, 1e-6 * doc_time + 1e-12);
+  }
+}
+
 // First "<TAG> <value>" line of a doc block (single-number variant).
 bool find_value_line(const std::string& doc, const std::string& tag,
                      double& value) {

@@ -1,0 +1,158 @@
+// Butterworth SOS band-pass (docs/SIGNAL.md, "Butterworth SOS
+// band-pass"): bilinear design validation, frequency response at the
+// normalization point and in the stop bands, stability of every
+// section, zero-phase behaviour of filtfilt_sos, and the error
+// taxonomy of the ObsPy-parity path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "signal/sos.hpp"
+
+namespace acx::signal {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// |H(e^{i 2 pi f dt})| of the cascade.
+double cascade_gain(const std::vector<Biquad>& sos, double f, double dt) {
+  const std::complex<double> z =
+      std::exp(std::complex<double>(0.0, -2.0 * kPi * f * dt));
+  std::complex<double> h{1.0, 0.0};
+  for (const Biquad& s : sos) {
+    h *= (s.b0 + s.b1 * z + s.b2 * z * z) /
+         (1.0 + s.a1 * z + s.a2 * z * z);
+  }
+  return std::abs(h);
+}
+
+// --- Design --------------------------------------------------------------
+
+TEST(Sos, DesignRejectsBadParameters) {
+  const ButterworthSpec ok{0.5, 25.0, 4};
+  EXPECT_EQ(design_butterworth_bandpass(ok, 0.0).error().code,
+            SignalError::Code::kBadSamplingInterval);
+  EXPECT_EQ(design_butterworth_bandpass(ok, -0.01).error().code,
+            SignalError::Code::kBadSamplingInterval);
+  EXPECT_EQ(design_butterworth_bandpass({0.0, 25.0, 4}, 0.005).error().code,
+            SignalError::Code::kBadCorners);
+  EXPECT_EQ(design_butterworth_bandpass({25.0, 0.5, 4}, 0.005).error().code,
+            SignalError::Code::kBadCorners);
+  EXPECT_EQ(design_butterworth_bandpass({0.5, 100.0, 4}, 0.005).error().code,
+            SignalError::Code::kBadCorners);  // >= Nyquist (100 Hz at dt 5ms)
+  EXPECT_EQ(design_butterworth_bandpass({0.5, 25.0, 0}, 0.005).error().code,
+            SignalError::Code::kBadTaps);
+  EXPECT_EQ(
+      design_butterworth_bandpass({0.5, 25.0, kMaxSosOrder + 1}, 0.005)
+          .error()
+          .code,
+      SignalError::Code::kBadTaps);
+}
+
+TEST(Sos, DesignYieldsOneSectionPerPrototypePole) {
+  for (int order : {1, 2, 3, 4, 7}) {
+    auto sos = design_butterworth_bandpass({0.5, 25.0, order}, 0.005);
+    ASSERT_TRUE(sos.ok()) << sos.error().to_string();
+    EXPECT_EQ(sos.value().size(), static_cast<std::size_t>(order));
+  }
+}
+
+TEST(Sos, DesignIsStableAndUnitGainAtCentre) {
+  for (int order : {1, 2, 3, 4, 8}) {
+    const double dt = 0.005;
+    auto sos = design_butterworth_bandpass({0.5, 25.0, order}, dt);
+    ASSERT_TRUE(sos.ok());
+    // Stability triangle: |a2| < 1 and |a1| < 1 + a2 for every section.
+    for (const Biquad& s : sos.value()) {
+      EXPECT_LT(std::fabs(s.a2), 1.0);
+      EXPECT_LT(std::fabs(s.a1), 1.0 + s.a2);
+    }
+    // Unit magnitude at the digital geometric centre (the design's
+    // normalization point), attenuation deep in both stop bands.
+    const double f0 = std::sqrt(0.5 * 25.0);
+    EXPECT_NEAR(cascade_gain(sos.value(), f0, dt), 1.0, 1e-9)
+        << "order " << order;
+    // A 1st-order band-pass rolls off at only 6 dB/octave, so the
+    // stop-band bound tightens with order.
+    const double stop = order == 1 ? 0.05 : 0.02;
+    EXPECT_LT(cascade_gain(sos.value(), 0.01, dt), stop) << "order " << order;
+    EXPECT_LT(cascade_gain(sos.value(), 95.0, dt), stop) << "order " << order;
+  }
+}
+
+// --- Application ---------------------------------------------------------
+
+TEST(Sos, SosfiltImpulseResponseDecays) {
+  auto sos = design_butterworth_bandpass({0.5, 25.0, 4}, 0.005);
+  ASSERT_TRUE(sos.ok());
+  std::vector<double> impulse(4096, 0.0);
+  impulse[0] = 1.0;
+  const auto h = sosfilt(sos.value(), impulse);
+  ASSERT_EQ(h.size(), impulse.size());
+  double head = 0.0, tail = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(h[i])) << "i=" << i;
+    (i < 1024 ? head : tail) += std::fabs(h[i]);
+  }
+  // The 0.5 Hz poles ring for seconds (they sit near the unit circle),
+  // but a stable cascade must have shed almost all energy by 5 s.
+  EXPECT_GT(head, 0.0);
+  EXPECT_LT(tail, 1e-2 * head);
+}
+
+TEST(Sos, FiltFiltPassesCentreBandWithZeroPhase) {
+  // A pass-band sine must come through |H|^2 ~ 1 with no shift: compare
+  // interior samples of y against x directly.
+  const double dt = 0.005, f0 = std::sqrt(0.5 * 25.0);
+  const std::size_t n = 8000;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * f0 * dt * static_cast<double>(i));
+  }
+  auto sos = design_butterworth_bandpass({0.5, 25.0, 4}, dt);
+  ASSERT_TRUE(sos.ok());
+  auto y = filtfilt_sos(sos.value(), x);
+  ASSERT_TRUE(y.ok()) << y.error().to_string();
+  for (std::size_t i = n / 4; i < 3 * n / 4; ++i) {
+    EXPECT_NEAR(y.value()[i], x[i], 0.02) << "i=" << i;
+  }
+}
+
+TEST(Sos, FiltFiltRejectsOutOfBand) {
+  // A stop-band (50 Hz) sine is attenuated by |H|^2 — effectively gone.
+  const double dt = 0.005;
+  const std::size_t n = 8000;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * 50.0 * dt * static_cast<double>(i));
+  }
+  auto sos = design_butterworth_bandpass({0.5, 25.0, 4}, dt);
+  ASSERT_TRUE(sos.ok());
+  auto y = filtfilt_sos(sos.value(), x);
+  ASSERT_TRUE(y.ok());
+  double peak = 0.0;
+  for (std::size_t i = n / 4; i < 3 * n / 4; ++i) {
+    peak = std::max(peak, std::fabs(y.value()[i]));
+  }
+  EXPECT_LT(peak, 1e-3);
+}
+
+TEST(Sos, FiltFiltErrorTaxonomy) {
+  auto sos = design_butterworth_bandpass({0.5, 25.0, 4}, 0.005);
+  ASSERT_TRUE(sos.ok());
+  EXPECT_EQ(filtfilt_sos(sos.value(), {}).error().code,
+            SignalError::Code::kEmptyInput);
+  EXPECT_EQ(filtfilt_sos({}, {1.0, 2.0}).error().code,
+            SignalError::Code::kBadTaps);
+  std::vector<double> bad = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_EQ(filtfilt_sos(sos.value(), bad).error().code,
+            SignalError::Code::kNonFinite);
+}
+
+}  // namespace
+}  // namespace acx::signal

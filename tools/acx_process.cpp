@@ -2,8 +2,9 @@
 //
 //   acx_process --input DIR --work DIR
 //               [--driver seq|seq-opt|partial|full] [--threads N]
+//               [--bandpass fir|butter]
 //               [--baseline REPORT] [--keep-going|--fail-fast]
-//               [--max-retries N] [--report]
+//               [--max-retries N] [--report] [--canonical]
 //
 // Processes every *.v1 record in --input with one of the paper's four
 // drivers (default seq, the Sequential Original). Poisoned records are
@@ -31,8 +32,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --input DIR --work DIR "
                "[--driver seq|seq-opt|partial|full] [--threads N] "
-               "[--baseline REPORT] [--keep-going|--fail-fast] "
-               "[--max-retries N] [--report]\n",
+               "[--bandpass fir|butter] [--baseline REPORT] "
+               "[--keep-going|--fail-fast] "
+               "[--max-retries N] [--report] [--canonical]\n",
                argv0);
   return 2;
 }
@@ -42,6 +44,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string input_dir, work_dir, baseline_path;
   bool report_to_stdout = false;
+  bool canonical_to_stdout = false;
   acx::pipeline::RunnerConfig cfg;
 
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +69,18 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       cfg.driver = *driver;
+    } else if (arg == "--bandpass") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      const std::string kind = v;
+      if (kind == "fir") {
+        cfg.correction.bandpass = acx::pipeline::BandPassKind::kFir;
+      } else if (kind == "butter") {
+        cfg.correction.bandpass = acx::pipeline::BandPassKind::kButterworth;
+      } else {
+        std::fprintf(stderr, "acx_process: unknown bandpass '%s'\n", v);
+        return usage(argv[0]);
+      }
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -85,6 +100,8 @@ int main(int argc, char** argv) {
       cfg.retry.max_attempts = std::max(1, std::atoi(v) + 1);
     } else if (arg == "--report") {
       report_to_stdout = true;
+    } else if (arg == "--canonical") {
+      canonical_to_stdout = true;
     } else {
       return usage(argv[0]);
     }
@@ -122,15 +139,20 @@ int main(int argc, char** argv) {
   }
   const acx::pipeline::RunReport& report = run.value();
 
-  std::printf(
+  // With --canonical, stdout is exactly the canonical dump (consumers
+  // cmp it byte-for-byte); the human summary — which carries wall-clock
+  // timings that vary run to run — moves to stderr.
+  std::FILE* log = canonical_to_stdout ? stderr : stdout;
+  std::fprintf(
+      log,
       "acx_process: driver %s, %d thread%s: %zu records, %d ok, "
       "%d quarantined, %d retries\n",
       report.driver.c_str(), report.threads, report.threads == 1 ? "" : "s",
       report.records.size(), report.count_ok(), report.count_quarantined(),
       report.count_retries());
   if (report.speedup_vs_sequential > 0) {
-    std::printf("  speedup vs sequential baseline: %.2fx\n",
-                report.speedup_vs_sequential);
+    std::fprintf(log, "  speedup vs sequential baseline: %.2fx\n",
+                 report.speedup_vs_sequential);
   }
   {
     long long hits = 0, misses = 0;
@@ -142,7 +164,8 @@ int main(int argc, char** argv) {
       kernel += p.kernel_seconds;
     }
     if (hits + misses > 0) {
-      std::printf(
+      std::fprintf(
+          log,
           "  plan caches: %lld hits / %lld misses, %.3fs setup, "
           "%.3fs kernel\n",
           hits, misses, setup, kernel);
@@ -150,11 +173,16 @@ int main(int argc, char** argv) {
   }
   for (const auto& r : report.records) {
     if (r.status == acx::pipeline::RecordOutcome::Status::kQuarantined) {
-      std::printf("  quarantined %-8s %s\n", r.record.c_str(),
-                  r.reason.c_str());
+      std::fprintf(log, "  quarantined %-8s %s\n", r.record.c_str(),
+                   r.reason.c_str());
     }
   }
   if (report_to_stdout) std::fputs(report.dump().c_str(), stdout);
+  // The driver-independent projection (timings dropped, dirs rebased):
+  // what CI's ACX_SIMD=ON/OFF equivalence leg diffs byte-for-byte.
+  if (canonical_to_stdout) {
+    std::fputs(report.canonical_dump().c_str(), stdout);
+  }
 
   return report.count_quarantined() == 0 ? 0 : 3;
 }
